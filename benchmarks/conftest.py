@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the corresponding rows/series.  Workload size is controlled by the
+``REPRO_BENCH_FRAMES`` environment variable (default 9 source frames at
+30 fps, so the 10 fps variants have 3 frames).  Raise it — e.g.
+``REPRO_BENCH_FRAMES=21 pytest benchmarks/ --benchmark-only`` — for
+smoother, publication-grade curves.
+
+The timed quantity is the full experiment harness (synthesis cached,
+encodes measured), run once per benchmark (``rounds=1``): these are
+throughput experiments, not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.video.synthesis.sequences import make_sequence
+
+
+def bench_frames() -> int:
+    return int(os.environ.get("REPRO_BENCH_FRAMES", "9"))
+
+
+@pytest.fixture(scope="session")
+def sequence_cache():
+    """30 fps source renders shared across all benchmarks."""
+    cache = {}
+    frames = bench_frames()
+    for name in ("miss_america", "table", "carphone", "foreman"):
+        cache[name] = make_sequence(name, frames=frames, seed=0)
+    return cache

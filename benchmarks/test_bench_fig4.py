@@ -1,0 +1,37 @@
+"""Benchmark regenerating Fig. 4 — the characterization scatter.
+
+Prints the per-error-class population table (block counts, mean
+Intra_SAD, mean SAD_deviation), i.e. the data behind the six scatter
+panels of the paper's Fig. 4, and checks the two conclusions the paper
+draws from it.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_histogram
+from repro.experiments.fig4_characterization import run_fig4
+
+
+def test_fig4_characterization(benchmark):
+    result = benchmark.pedantic(run_fig4, kwargs={"seed": 0}, rounds=1, iterations=1)
+
+    print()
+    print(result.as_text())
+    print()
+    print(format_histogram(result.class_counts(), title="Blocks per error class"))
+    print(f"true-vector fraction: {result.true_fraction():.1%}")
+
+    # Shape checks: the conclusions of Section 3.1 must hold.
+    observations = result.observations
+    median = np.median([o.intra_sad for o in observations])
+    high = [o for o in observations if o.intra_sad > median]
+    low = [o for o in observations if o.intra_sad <= median]
+    p_true_high = sum(o.error_class == 0 for o in high) / len(high)
+    p_true_low = sum(o.error_class == 0 for o in low) / len(low)
+    print(f"P(true | high texture) = {p_true_high:.2f}, "
+          f"P(true | low texture) = {p_true_low:.2f}")
+    assert p_true_high > p_true_low
+
+    means = result.class_means()
+    wrong = [cls for cls in means if cls > 0]
+    assert means[0][1] > np.mean([means[c][1] for c in wrong])

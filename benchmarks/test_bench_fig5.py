@@ -1,0 +1,40 @@
+"""Benchmark regenerating Fig. 5 — RD curves, QCIF @ 30 fps.
+
+Prints, per sequence, the (Qp, rate kbit/s, PSNR dB) series for ACBM,
+FSBM and PBM — the same three curves each panel of Fig. 5 plots — and
+checks the figure's qualitative claims.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.rd_curves import run_rd_sweep
+
+from .conftest import bench_frames
+
+
+def test_fig5_rd_curves_30fps(benchmark, sequence_cache):
+    config = ExperimentConfig(frames=bench_frames(), fps_list=(30,))
+
+    def run():
+        return run_rd_sweep(config, sequences_cache=dict(sequence_cache))
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(sweep.as_text(30))
+
+    # Shape at matched Qp: ACBM within a hair of FSBM's PSNR at no
+    # worse rate (on smooth clips its whole curve may sit strictly left
+    # of FSBM's — no rate overlap — which is strict domination).
+    cells = {(c.sequence, c.estimator, c.qp): c for c in sweep.cells if c.fps == 30}
+    for sequence in config.sequences:
+        for qp in config.qps:
+            acbm = cells[(sequence, "acbm", qp)]
+            fsbm = cells[(sequence, "fsbm", qp)]
+            assert acbm.psnr_y >= fsbm.psnr_y - 0.25, (sequence, qp)
+            assert acbm.rate_kbps <= fsbm.rate_kbps * 1.03, (sequence, qp)
+    try:
+        gap = sweep.psnr_gain("foreman", 30, "acbm", "fsbm")
+        print(f"foreman: ACBM - FSBM = {gap:+.3f} dB at matched rate")
+        assert gap > -0.25
+    except ValueError:
+        print("foreman: ACBM and FSBM curves share no rate range (domination)")

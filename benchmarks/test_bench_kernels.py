@@ -1,0 +1,68 @@
+"""Microbenchmarks of the hot kernels (not a paper table).
+
+Timed with pytest-benchmark's normal statistics (multiple rounds) so
+regressions in the vectorized SAD map, the batched DCT or the encoder
+inner loop are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.me.estimator import BlockContext
+from repro.me.full_search import FullSearchEstimator
+from repro.me.metrics import sad_map
+from repro.me.types import MotionField
+
+
+@pytest.fixture(scope="module")
+def planes():
+    rng = np.random.default_rng(0)
+    current = rng.integers(0, 256, (144, 176), dtype=np.uint8)
+    reference = np.clip(
+        current.astype(np.int16) + rng.integers(-6, 7, current.shape), 0, 255
+    ).astype(np.uint8)
+    return current, reference
+
+
+def test_sad_map_full_window(benchmark, planes):
+    """One macroblock against a full ±15 window: the FSBM inner kernel
+    (961 SADs of 256 pixels each)."""
+    current, reference = planes
+    block = current[64:80, 80:96]
+    window = reference[49:111, 65:127]
+    result = benchmark(sad_map, block, window)
+    assert result.shape == (47, 47)
+
+
+def test_fsbm_block_search(benchmark, planes):
+    """Full FSBM block decision including half-pel refinement."""
+    current, reference = planes
+    est = FullSearchEstimator(p=15)
+    ctx = BlockContext(current, reference, 4, 5, 16, MotionField(9, 11), None, 16)
+    result = benchmark(est.search_block, ctx)
+    assert result.positions == 969
+
+
+def test_batched_dct_round_trip(benchmark):
+    """DCT+IDCT of a whole QCIF frame's worth of blocks (594 blocks:
+    the per-frame transform load of the encoder)."""
+    rng = np.random.default_rng(1)
+    blocks = rng.normal(0, 30, (594, 8, 8))
+
+    def run():
+        return inverse_dct(forward_dct(blocks))
+
+    out = benchmark(run)
+    np.testing.assert_allclose(out, blocks, atol=1e-8)
+
+
+def test_encoder_frame_throughput(benchmark, sequence_cache):
+    """P-frame encode throughput with the cheap estimator (codec cost
+    dominates here, not the search)."""
+    from repro.codec.encoder import Encoder
+
+    seq = sequence_cache["miss_america"][:3]
+    encoder = Encoder(estimator="pbm", qp=16, keep_reconstruction=False)
+    result = benchmark.pedantic(encoder.encode, args=(seq,), rounds=3, iterations=1)
+    assert result.total_bits > 0

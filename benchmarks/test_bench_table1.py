@@ -1,0 +1,47 @@
+"""Benchmark regenerating Table 1 — ACBM search cost per macroblock.
+
+Prints the paper's row/column layout: Qp ∈ {30..16} down, the four
+sequences at 30 and 10 fps across, cells in average candidate positions
+per macroblock against the constant 969 of full search at p = 15.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1_complexity import run_table1
+
+from .conftest import bench_frames
+
+
+def test_table1_complexity(benchmark, sequence_cache):
+    config = ExperimentConfig(frames=bench_frames(), fps_list=(30, 10))
+
+    def run():
+        from repro.experiments.rd_curves import run_rd_sweep
+
+        sweep = run_rd_sweep(
+            config, estimators=("acbm",), sequences_cache=dict(sequence_cache)
+        )
+        return run_table1(config, sweep=sweep)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(table.as_text())
+    print(f"max reduction vs FSBM: {table.max_reduction():.1%}")
+
+    # Shape checks from the paper's discussion of Table 1.
+    for (sequence, fps) in table.columns:
+        # Positions grow as Qp decreases (allowing small sampling noise).
+        cells = [table.cell(sequence, fps, qp) for qp in config.qps]
+        for coarse, fine in zip(cells, cells[1:]):
+            assert fine >= coarse * 0.9, (sequence, fps, cells)
+        # Everything is far below the FSBM constant.
+        assert max(cells) < table.fsbm_positions
+
+    # Miss America cheapest, Foreman dearest (sequence means).
+    means = {s: table.sequence_mean(s) for s in config.sequences}
+    print("sequence means:", {k: round(v) for k, v in means.items()})
+    assert means["miss_america"] == min(means.values())
+    assert means["foreman"] == max(means.values())
+
+    # The paper's headline: up to ~95% reduction.
+    assert table.max_reduction() > 0.85

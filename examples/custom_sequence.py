@@ -1,0 +1,105 @@
+"""Build a custom synthetic scene, encode it, and export raw YUV.
+
+Shows the synthesis API end to end: a textured world, a couple of
+sprites on analytic trajectories, a panning camera — then encodes the
+clip with ACBM, prints per-frame statistics, verifies the bitstream by
+decoding it, and writes both the source and the reconstruction as raw
+planar 4:2:0 files any video tool can ingest
+(e.g. ffplay -f rawvideo -pixel_format yuv420p -video_size 176x144 out.yuv).
+
+Run:
+    python examples/custom_sequence.py [--outdir .]
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro import encode_sequence
+from repro.analysis.reporting import format_table
+from repro.codec.decoder import decode_bitstream
+from repro.video.frame import QCIF
+from repro.video.synthesis.motion_models import CameraPath
+from repro.video.synthesis.sequences import SceneSpec, render_scene
+from repro.video.synthesis.sprites import Sprite, bounce_path, disc_mask, ellipse_mask, sway_path
+from repro.video.synthesis.texture import noise_texture
+from repro.video.yuv_io import write_yuv
+
+
+def build_scene(frames: int) -> SceneSpec:
+    margin = 48
+    world_h = QCIF.height + 2 * margin
+    world_w = QCIF.width + 2 * margin + 2 * frames  # room for the pan
+    background = noise_texture(
+        world_h, world_w, seed=7, cell=22, octaves=4, amplitude=70.0, base=115.0
+    )
+    blob = Sprite(
+        texture=noise_texture(52, 44, seed=8, cell=10, octaves=2, amplitude=35.0, base=170.0),
+        mask=ellipse_mask(52, 44, softness=2.5),
+        trajectory=sway_path((margin + 30.0, margin + 60.0), (3.0, 5.0), period=17.0),
+        chroma=(-8.0, 12.0),
+    )
+    ball = Sprite(
+        texture=np.full((9, 9), 240.0),
+        mask=disc_mask(9, softness=1.2),
+        trajectory=bounce_path(
+            start=(margin + 20.0, margin + 20.0),
+            velocity=(4.2, 6.4),
+            bounds=(margin + 5.0, margin + 120.0, margin + 5.0, margin + 150.0),
+        ),
+    )
+    return SceneSpec(
+        name="custom",
+        geometry=QCIF,
+        frames=frames,
+        margin=margin,
+        background=background,
+        camera=CameraPath.pan(frames, margin, margin, 0.0, 2.0),
+        sprites=[blob, ball],
+        sensor_noise_sigma=1.0,
+        shimmer_sigma=4.0,
+        seed=7,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default=".", help="where to write the .yuv files")
+    parser.add_argument("--frames", type=int, default=12)
+    parser.add_argument("--qp", type=int, default=16)
+    args = parser.parse_args()
+
+    print(f"Rendering custom scene ({args.frames} frames)...")
+    sequence = render_scene(build_scene(args.frames))
+
+    print(f"Encoding with ACBM at Qp={args.qp}...")
+    result = encode_sequence(sequence, qp=args.qp, estimator="acbm", keep_reconstruction=True)
+
+    rows = [
+        (f.index, f.frame_type, f.bits, f.psnr_y, f.skipped_mbs)
+        for f in result.frames
+    ]
+    print()
+    print(format_table(["frame", "type", "bits", "PSNR-Y dB", "skipped MBs"], rows))
+    print(f"\ntotal: {result.rate_kbps:.1f} kbit/s @ {result.mean_psnr_y:.2f} dB, "
+          f"{result.avg_positions_per_mb:.0f} positions/MB")
+
+    decoded = decode_bitstream(result.bitstream)
+    exact = all(d == r for d, r in zip(decoded, result.reconstruction))
+    print(f"decoder round-trip bit-exact: {exact}")
+    if not exact:
+        raise SystemExit("decoder mismatch — this is a bug")
+
+    source_path = os.path.join(args.outdir, "custom_source.yuv")
+    recon_path = os.path.join(args.outdir, "custom_recon.yuv")
+    from repro.video.sequence import Sequence
+
+    write_yuv(source_path, sequence)
+    write_yuv(recon_path, Sequence(result.reconstruction, fps=sequence.fps, name="recon"))
+    print(f"wrote {source_path} and {recon_path} "
+          f"(raw 4:2:0, {QCIF.width}x{QCIF.height})")
+
+
+if __name__ == "__main__":
+    main()

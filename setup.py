@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail; this shim
+enables the legacy ``pip install -e . --no-use-pep517`` path.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — reproduction of the ACBM block-matching motion estimator.
+
+This package reproduces "A High Quality/Low Computational Cost Technique
+for Block Matching Motion Estimation" (S. Lopez, G.M. Callico, J.F. Lopez,
+R. Sarmiento — DATE 2005).
+
+Layout
+------
+``repro.core``
+    The paper's contribution: the Adaptive Cost Block Matching (ACBM)
+    estimator, its parameters and the per-block criticality classifier.
+``repro.me``
+    Block-matching substrate: metrics (SAD, Intra_SAD, SAD_deviation),
+    full search, predictive search, classic fast-search baselines,
+    half-pel refinement and search-cost accounting.
+``repro.video``
+    Frames, sequences, raw YUV I/O and deterministic synthetic sequence
+    generators standing in for the standard QCIF test clips.
+``repro.codec``
+    H.263-style hybrid encoder used by the paper's evaluation: 8x8 DCT,
+    H.263 quantizer, zig-zag + TCOEF VLC, MV prediction/coding, half-pel
+    motion compensation and a closed reconstruction loop.
+``repro.analysis``
+    PSNR, rate-distortion curves, motion-field statistics, reporting.
+``repro.experiments``
+    One harness per paper table/figure (Fig. 4, Figs. 5-6, Table 1).
+
+Quickstart
+----------
+>>> from repro import make_sequence, encode_sequence
+>>> seq = make_sequence("miss_america", frames=10)
+>>> result = encode_sequence(seq, qp=16, estimator="acbm")
+>>> result.mean_psnr_y > 30.0
+True
+"""
+
+from repro.core.acbm import ACBMEstimator
+from repro.core.parameters import ACBMParameters
+from repro.me.estimator import available_estimators, create_estimator
+from repro.me.full_search import FullSearchEstimator
+from repro.me.predictive import PredictiveEstimator
+from repro.me.types import MotionField, MotionVector
+from repro.video.sequence import Sequence
+from repro.video.synthesis.sequences import available_sequences, make_sequence
+from repro.codec.encoder import EncodeResult, Encoder, encode_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACBMEstimator",
+    "ACBMParameters",
+    "EncodeResult",
+    "Encoder",
+    "FullSearchEstimator",
+    "MotionField",
+    "MotionVector",
+    "PredictiveEstimator",
+    "Sequence",
+    "available_estimators",
+    "available_sequences",
+    "create_estimator",
+    "encode_sequence",
+    "make_sequence",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Analysis utilities: PSNR, rate-distortion curves, motion-field
+statistics and plain-text report rendering."""
+
+from repro.analysis.psnr import psnr, sequence_psnr
+from repro.analysis.rd import RDCurve, RDPoint
+
+__all__ = ["RDCurve", "RDPoint", "psnr", "sequence_psnr"]

@@ -1,0 +1,71 @@
+"""Motion-field quality statistics.
+
+The paper argues (Section 2.3) that FSBM fields are *incoherent* —
+neighbouring vectors disagree, inflating the differential MV rate —
+while predictive fields are smooth.  These helpers quantify that:
+
+* :func:`field_smoothness` — mean L1 difference between horizontally /
+  vertically adjacent vectors (half-pel units); lower is smoother.
+* :func:`field_entropy_bits` — empirical entropy of the MVD stream, a
+  lower bound on what any entropy coder could spend.
+* :func:`error_map` — per-block Chebyshev error against a ground-truth
+  global displacement (the Fig. 4 rig's error classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.mv_coding import predict_mv
+from repro.me.types import MotionField, MotionVector
+
+
+def field_smoothness(field: MotionField) -> float:
+    """Mean L1 distance (half-pels) between 4-adjacent vector pairs.
+
+    0.0 for a perfectly uniform field; grows with incoherence.
+    """
+    hx, hy = field.to_arrays()
+    diffs = []
+    if field.mb_cols > 1:
+        diffs.append(np.abs(np.diff(hx, axis=1)) + np.abs(np.diff(hy, axis=1)))
+    if field.mb_rows > 1:
+        diffs.append(np.abs(np.diff(hx, axis=0)) + np.abs(np.diff(hy, axis=0)))
+    if not diffs:
+        return 0.0
+    return float(np.concatenate([d.ravel() for d in diffs]).mean())
+
+
+def field_entropy_bits(field: MotionField) -> float:
+    """Empirical zero-order entropy (bits/vector) of the median-predicted
+    MVD symbols of a field."""
+    symbols: list[tuple[int, int]] = []
+    coded = MotionField(field.mb_rows, field.mb_cols)
+    for r, c, mv in field:
+        if mv is None:
+            raise ValueError("motion field has unset entries")
+        predictor = predict_mv(coded, r, c)
+        d = mv - predictor
+        symbols.append((d.hx, d.hy))
+        coded.set(r, c, mv)
+    values, counts = np.unique(np.array(symbols), axis=0, return_counts=True)
+    probabilities = counts / counts.sum()
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def error_map(field: MotionField, truth: MotionVector) -> np.ndarray:
+    """Per-block integer error class against a known global vector.
+
+    Error = Chebyshev distance in *pixels*, rounded down — the paper's
+    Fig. 4 buckets (0, 1, 2, 3, 4, >=5).
+    """
+    hx, hy = field.to_arrays()
+    cheb_half = np.maximum(np.abs(hx - truth.hx), np.abs(hy - truth.hy))
+    return (cheb_half // 2).astype(np.int64)
+
+
+def mean_vector(field: MotionField) -> tuple[float, float]:
+    """Average (x, y) displacement in pixels — the field's global-motion
+    estimate."""
+    hx, hy = field.to_arrays()
+    return float(hx.mean() / 2.0), float(hy.mean() / 2.0)

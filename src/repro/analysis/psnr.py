@@ -1,0 +1,53 @@
+"""Peak signal-to-noise ratio — the paper's quality axis.
+
+PSNR = 10·log10(255² / MSE) in dB for 8-bit video.  Identical planes
+have infinite PSNR; we return ``math.inf`` rather than capping so tests
+can assert on it explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Peak value of 8-bit video.
+PEAK = 255.0
+
+
+def plane_mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two planes of equal shape."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("empty planes")
+    diff = a - b
+    return float((diff * diff).mean())
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """PSNR in dB; ``inf`` for identical planes."""
+    err = plane_mse(original, reconstructed)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10(PEAK * PEAK / err)
+
+
+def sequence_psnr(originals, reconstructions, plane: str = "y") -> float:
+    """Mean per-frame luma (or chroma) PSNR across a sequence.
+
+    Per-frame PSNRs are averaged in dB — the convention of the H.263
+    test-model reports the paper compares against.
+    """
+    if plane not in ("y", "cb", "cr"):
+        raise ValueError(f"plane must be y/cb/cr, got {plane!r}")
+    values = []
+    count = 0
+    for orig, rec in zip(originals, reconstructions):
+        values.append(psnr(getattr(orig, plane), getattr(rec, plane)))
+        count += 1
+    if count == 0:
+        raise ValueError("no frame pairs given")
+    return float(np.mean(values))

@@ -1,0 +1,97 @@
+"""Rate-distortion points, curves and comparisons.
+
+The paper's Figs. 5-6 plot PSNR (dB) against rate (kbit/s), one curve
+per estimator, one point per Qp.  :class:`RDCurve` stores the points
+and provides the comparisons the paper makes verbally: PSNR-at-
+matched-rate deltas via linear interpolation, and a Bjøntegaard-style
+average dB difference over the overlapping rate range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One operating point of one encoder configuration."""
+
+    qp: int
+    rate_kbps: float
+    psnr_db: float
+
+    def __post_init__(self) -> None:
+        if self.rate_kbps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_kbps}")
+        if not np.isfinite(self.psnr_db):
+            raise ValueError(f"PSNR must be finite, got {self.psnr_db}")
+
+
+class RDCurve:
+    """A labelled set of RD points, sorted by rate."""
+
+    def __init__(self, label: str, points) -> None:
+        self.label = label
+        self.points: list[RDPoint] = sorted(points, key=lambda p: p.rate_kbps)
+        if len(self.points) < 1:
+            raise ValueError("an RD curve needs at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def rates(self) -> np.ndarray:
+        return np.array([p.rate_kbps for p in self.points])
+
+    @property
+    def psnrs(self) -> np.ndarray:
+        return np.array([p.psnr_db for p in self.points])
+
+    @property
+    def rate_range(self) -> tuple[float, float]:
+        return float(self.rates[0]), float(self.rates[-1])
+
+    def psnr_at_rate(self, rate_kbps: float) -> float:
+        """PSNR at a given rate by piecewise-linear interpolation over
+        log-rate (the customary interpolation for RD curves).  The rate
+        must lie inside the curve's span (up to float round-off)."""
+        lo, hi = self.rate_range
+        tolerance = 1e-9 * max(abs(lo), abs(hi), 1.0)
+        if not lo - tolerance <= rate_kbps <= hi + tolerance:
+            raise ValueError(f"rate {rate_kbps} outside curve span [{lo}, {hi}]")
+        rate_kbps = min(max(rate_kbps, lo), hi)
+        if len(self.points) == 1:
+            return float(self.psnrs[0])
+        return float(np.interp(np.log(rate_kbps), np.log(self.rates), self.psnrs))
+
+    def average_psnr_gain_over(self, other: "RDCurve", samples: int = 50) -> float:
+        """Mean PSNR difference ``self − other`` (dB) over the shared
+        rate range — a Bjøntegaard-delta-PSNR analog on log-rate.
+
+        Positive values mean ``self`` dominates.  Raises when the curves
+        share no rate overlap (then no like-for-like claim is possible).
+        """
+        lo = max(self.rate_range[0], other.rate_range[0])
+        hi = min(self.rate_range[1], other.rate_range[1])
+        if lo >= hi:
+            raise ValueError(
+                f"curves {self.label!r} and {other.label!r} share no rate range"
+            )
+        if samples < 2:
+            raise ValueError(f"samples must be >= 2, got {samples}")
+        grid = np.exp(np.linspace(np.log(lo), np.log(hi), samples))
+        mine = np.array([self.psnr_at_rate(r) for r in grid])
+        theirs = np.array([other.psnr_at_rate(r) for r in grid])
+        return float((mine - theirs).mean())
+
+    def __repr__(self) -> str:
+        lo, hi = self.rate_range
+        return (
+            f"RDCurve({self.label!r}, {len(self.points)} points, "
+            f"{lo:.1f}-{hi:.1f} kbit/s, {self.psnrs.min():.2f}-{self.psnrs.max():.2f} dB)"
+        )

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harnesses print the same rows/series the paper reports;
+these helpers keep that formatting in one place and make the output
+stable enough to snapshot in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats go through ``float_format``; everything else through
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rd_series(curves, title: str = "") -> str:
+    """Render RD curves the way the paper's figure legends read:
+    one block per curve, Qp / rate / PSNR columns."""
+    lines = []
+    if title:
+        lines.append(title)
+    for curve in curves:
+        lines.append(f"[{curve.label}]")
+        lines.append(
+            format_table(
+                ["Qp", "rate kbit/s", "PSNR dB"],
+                [(p.qp, p.rate_kbps, p.psnr_db) for p in curve.points],
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_histogram(
+    counts: dict,
+    title: str = "",
+    bar_width: int = 40,
+) -> str:
+    """Simple ASCII bar chart for class-count dictionaries (Fig. 4
+    error-class populations)."""
+    if not counts:
+        raise ValueError("empty counts")
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts must sum to a positive value")
+    peak = max(counts.values())
+    lines = [title] if title else []
+    for key in sorted(counts):
+        value = counts[key]
+        bar = "#" * (round(bar_width * value / peak) if peak else 0)
+        lines.append(f"{key!s:>10}  {value:>8}  {bar}")
+    return "\n".join(lines)

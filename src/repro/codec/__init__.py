@@ -1,0 +1,26 @@
+"""H.263-style hybrid video codec substrate.
+
+The paper evaluates motion estimators inside the Telenor TMN5 H.263
+encoder (reference [12]); that code is long gone from the public FTP
+archive, so this package provides an equivalent: a closed-loop hybrid
+DPCM/DCT encoder with
+
+* 8x8 floating DCT + H.263 quantizer (Qp 1..31, dead-zone, mismatch-
+  safe dequantization),
+* zig-zag scanning and (LAST, RUN, LEVEL) event coding with canonical
+  Huffman tables shaped like H.263's TCOEF table,
+* H.263 median MV prediction and a signed exp-Golomb MVD code,
+* half-pel motion compensation identical to the estimators' (shared
+  code path), and
+* an actual bitstream (BitWriter) with a matching decoder, so every
+  reported bit is a real emitted-and-decodable bit.
+
+Rate-distortion *rankings* between estimators — all the paper's figures
+need — are preserved because the rate model has the same two Qp-coupled
+components as TMN5: residual DCT bits and differential MV bits.
+"""
+
+from repro.codec.encoder import EncodeResult, Encoder, encode_sequence
+from repro.codec.decoder import Decoder, decode_bitstream
+
+__all__ = ["Decoder", "EncodeResult", "Encoder", "decode_bitstream", "encode_sequence"]

@@ -1,0 +1,88 @@
+"""Bit-exact bitstream writer and reader.
+
+The encoder counts rate by *writing an actual bitstream*; the matching
+:class:`BitReader` lets the decoder (and the round-trip tests) consume
+it.  This guarantees the kbit/s numbers in the RD experiments are
+emitted bits, not estimates.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a bytearray."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._filled = 0
+        self._bits_written = 0
+
+    @property
+    def bit_count(self) -> int:
+        """Total bits written so far (excluding any final padding)."""
+        return self._bits_written
+
+    def write_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._accumulator = (self._accumulator << 1) | bit
+        self._filled += 1
+        self._bits_written += 1
+        if self._filled == 8:
+            self._buffer.append(self._accumulator)
+            self._accumulator = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if value < 0 or (count < 64 and value >= (1 << count)):
+            raise ValueError(f"value {value} does not fit in {count} bits")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_code(self, code: "tuple[int, int]") -> None:
+        """Write a ``(value, length)`` pair as produced by the VLC layer."""
+        value, length = code
+        self.write_bits(value, length)
+
+    def getvalue(self) -> bytes:
+        """The byte string, zero-padded to a byte boundary."""
+        out = bytearray(self._buffer)
+        if self._filled:
+            out.append(self._accumulator << (8 - self._filled))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return 8 * len(self._data) - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= 8 * len(self._data):
+            raise EOFError("bitstream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

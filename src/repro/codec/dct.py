@@ -1,0 +1,47 @@
+"""8x8 type-II DCT in matrix form.
+
+The orthonormal DCT-II basis matrix ``C`` satisfies ``C @ C.T = I``;
+forward transform of a block ``B`` is ``C @ B @ C.T`` and the inverse is
+``C.T @ X @ C``.  Both operate on stacked arrays of shape ``(..., 8, 8)``
+so the encoder can transform every block of a frame in one call.
+
+TMN5 likewise used a floating DCT with rounding at the quantizer, so no
+integer-DCT drift modelling is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal DCT-II matrix of order ``n``."""
+    if n < 1:
+        raise ValueError(f"order must be >= 1, got {n}")
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    mat = np.cos((2 * i + 1) * k * np.pi / (2 * n)) * np.sqrt(2.0 / n)
+    mat[0, :] = np.sqrt(1.0 / n)
+    return mat
+
+
+_C = dct_matrix()
+_CT = _C.T.copy()
+
+
+def forward_dct(blocks: np.ndarray) -> np.ndarray:
+    """DCT-II of stacked 8x8 blocks, shape ``(..., 8, 8)`` float64."""
+    b = np.asarray(blocks, dtype=np.float64)
+    if b.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError(f"blocks must end in (8, 8), got {b.shape}")
+    return _C @ b @ _CT
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_dct`."""
+    c = np.asarray(coefficients, dtype=np.float64)
+    if c.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError(f"coefficients must end in (8, 8), got {c.shape}")
+    return _CT @ c @ _C

@@ -1,0 +1,172 @@
+"""Decoder for the encoder's bitstream.
+
+Exists for verification: the integration tests assert that decoding the
+emitted bitstream reproduces the encoder's reconstruction *exactly*
+(bit-exact closed loop), which pins down every VLC table, quantizer
+rounding rule and motion-compensation path on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader
+from repro.codec.dct import inverse_dct
+from repro.codec.encoder import START_CODE, START_CODE_BITS
+from repro.codec.macroblock import (
+    decode_inter_block,
+    decode_intra_block,
+    join_luma_blocks,
+    predict_chroma_block,
+    read_events,
+)
+from repro.codec.mv_coding import predict_mv, read_mvd
+from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
+from repro.me.subpel import predict_block
+from repro.me.types import MotionField, MotionVector
+from repro.video.frame import Frame, FrameGeometry
+
+
+@dataclass(frozen=True)
+class PictureHeader:
+    frame_type: str  # "I" or "P"
+    qp: int
+    p: int
+    mb_rows: int
+    mb_cols: int
+
+    @property
+    def geometry(self) -> FrameGeometry:
+        return FrameGeometry(16 * self.mb_cols, 16 * self.mb_rows)
+
+
+class Decoder:
+    """Stateful decoder: feed it one bitstream, pull frames until
+    exhaustion."""
+
+    def __init__(self, bitstream: bytes) -> None:
+        self._reader = BitReader(bitstream)
+        self._reference: Frame | None = None
+        self._frame_index = 0
+
+    @property
+    def has_more(self) -> bool:
+        """Whether another picture header plausibly follows (at least a
+        header's worth of bits remains)."""
+        return self._reader.bits_remaining >= START_CODE_BITS + 1 + 5 + 5 + 16
+
+    def _read_header(self) -> PictureHeader:
+        marker = self._reader.read_bits(START_CODE_BITS)
+        if marker != START_CODE:
+            raise ValueError(f"bad start code {marker:#x}")
+        frame_type = "P" if self._reader.read_bit() else "I"
+        qp = self._reader.read_bits(5)
+        p = self._reader.read_bits(5)
+        mb_rows = self._reader.read_bits(8)
+        mb_cols = self._reader.read_bits(8)
+        if not 1 <= qp <= 31:
+            raise ValueError(f"decoded Qp {qp} out of range")
+        return PictureHeader(frame_type, qp, p, mb_rows, mb_cols)
+
+    def decode_frame(self) -> Frame:
+        header = self._read_header()
+        if header.frame_type == "I":
+            frame = self._decode_intra(header)
+        else:
+            if self._reference is None:
+                raise ValueError("P-frame without a decoded reference")
+            frame = self._decode_inter(header)
+        self._reference = frame
+        self._frame_index += 1
+        return frame
+
+    # -- frame types -----------------------------------------------------
+
+    def _decode_intra(self, header: PictureHeader) -> Frame:
+        g = header.geometry
+        y = np.empty((g.height, g.width), dtype=np.uint8)
+        cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        for r in range(header.mb_rows):
+            for c in range(header.mb_cols):
+                mcbpc = MCBPC_TABLE.decode(self._reader)
+                cbpy = CBPY_TABLE.decode(self._reader)
+                coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
+                coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
+                blocks = []
+                for coded in coded_flags:
+                    dc_level = self._reader.read_bits(8)
+                    events = read_events(self._reader) if coded else []
+                    blocks.append(decode_intra_block(dc_level, events, header.qp))
+                pixels = np.clip(np.rint(inverse_dct(np.stack(blocks))), 0, 255).astype(np.uint8)
+                y0, x0 = 16 * r, 16 * c
+                y[y0 : y0 + 16, x0 : x0 + 16] = join_luma_blocks(pixels[:4])
+                cb[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[4]
+                cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[5]
+        return Frame(y, cb, cr, index=self._frame_index)
+
+    def _decode_inter(self, header: PictureHeader) -> Frame:
+        g = header.geometry
+        ref = self._reference
+        if ref.geometry != g:
+            raise ValueError(f"geometry change mid-stream: {ref.geometry} → {g}")
+        y = np.empty((g.height, g.width), dtype=np.uint8)
+        cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        coded_field = MotionField(header.mb_rows, header.mb_cols)
+        for r in range(header.mb_rows):
+            for c in range(header.mb_cols):
+                y0, x0 = 16 * r, 16 * c
+                cy0, cx0 = 8 * r, 8 * c
+                if self._reader.read_bit():  # COD = 1: skipped
+                    mv = MotionVector.zero()
+                    coded_field.set(r, c, mv)
+                    y[y0 : y0 + 16, x0 : x0 + 16] = ref.y[y0 : y0 + 16, x0 : x0 + 16]
+                    cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cb[cy0 : cy0 + 8, cx0 : cx0 + 8]
+                    cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cr[cy0 : cy0 + 8, cx0 : cx0 + 8]
+                    continue
+                mcbpc = MCBPC_TABLE.decode(self._reader)
+                cbpy = CBPY_TABLE.decode(self._reader)
+                predictor = predict_mv(coded_field, r, c)
+                mv = read_mvd(self._reader, predictor)
+                coded_field.set(r, c, mv)
+                coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
+                coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
+                blocks = []
+                for coded in coded_flags:
+                    events = read_events(self._reader) if coded else []
+                    blocks.append(decode_inter_block(events, header.qp))
+                residual = inverse_dct(np.stack(blocks))
+                pred_y = predict_block(ref.y, y0, x0, mv, 16, 16).astype(np.float64)
+                pred_cb = predict_chroma_block(ref.cb, cy0, cx0, mv, header.p).astype(np.float64)
+                pred_cr = predict_chroma_block(ref.cr, cy0, cx0, mv, header.p).astype(np.float64)
+                y[y0 : y0 + 16, x0 : x0 + 16] = np.clip(
+                    np.rint(join_luma_blocks(residual[:4]) + pred_y), 0, 255
+                ).astype(np.uint8)
+                cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = np.clip(
+                    np.rint(residual[4] + pred_cb), 0, 255
+                ).astype(np.uint8)
+                cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = np.clip(
+                    np.rint(residual[5] + pred_cr), 0, 255
+                ).astype(np.uint8)
+        return Frame(y, cb, cr, index=self._frame_index)
+
+
+def decode_bitstream(bitstream: bytes, frames: int | None = None) -> list[Frame]:
+    """Decode ``frames`` pictures (or all that fit) from a bitstream.
+
+    >>> from repro.video.synthesis.sequences import make_sequence
+    >>> from repro.codec.encoder import encode_sequence
+    >>> seq = make_sequence("miss_america", frames=2)
+    >>> result = encode_sequence(seq, qp=20, keep_reconstruction=True)
+    >>> decoded = decode_bitstream(result.bitstream)
+    >>> all(d == r for d, r in zip(decoded, result.reconstruction))
+    True
+    """
+    decoder = Decoder(bitstream)
+    out: list[Frame] = []
+    while decoder.has_more and (frames is None or len(out) < frames):
+        out.append(decoder.decode_frame())
+    return out

@@ -1,0 +1,78 @@
+"""H.263 scalar quantizer.
+
+H.263 uses one quantizer step ``Qp`` in 1..31 for a whole picture (in
+baseline use).  Coefficient handling:
+
+* INTER (residual) coefficients use a dead zone:
+  ``LEVEL = sign · (|coef| − Qp/2) / (2·Qp)`` truncated toward zero.
+* INTRA AC coefficients have no dead zone:
+  ``LEVEL = sign · |coef| / (2·Qp)`` truncated.
+* INTRA DC is quantized with a fixed step of 8:
+  ``LEVEL = round(DC / 8)`` clamped to 1..254.
+
+Reconstruction (both intra AC and inter) is the standard
+mismatch-controlled rule: ``|rec| = Qp·(2·|LEVEL| + 1)`` for odd Qp and
+``Qp·(2·|LEVEL| + 1) − 1`` for even Qp, zero staying zero.
+
+All functions are vectorized over arrays of any shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: H.263 coefficient levels are transmitted in [-127, 127] (sans escape).
+LEVEL_MIN, LEVEL_MAX = -127, 127
+
+#: Fixed intra-DC quantizer step.
+INTRA_DC_STEP = 8
+
+
+def check_qp(qp: int) -> int:
+    if not 1 <= int(qp) <= 31:
+        raise ValueError(f"H.263 Qp must be in 1..31, got {qp}")
+    return int(qp)
+
+
+def quantize_inter(coefficients: np.ndarray, qp: int) -> np.ndarray:
+    """Dead-zone quantization of residual DCT coefficients → int levels."""
+    qp = check_qp(qp)
+    c = np.asarray(coefficients, dtype=np.float64)
+    magnitude = np.floor((np.abs(c) - qp / 2.0) / (2.0 * qp))
+    magnitude = np.clip(magnitude, 0, LEVEL_MAX)
+    return (np.sign(c) * magnitude).astype(np.int32)
+
+
+def quantize_intra_ac(coefficients: np.ndarray, qp: int) -> np.ndarray:
+    """No-dead-zone quantization of intra AC coefficients → int levels."""
+    qp = check_qp(qp)
+    c = np.asarray(coefficients, dtype=np.float64)
+    magnitude = np.clip(np.floor(np.abs(c) / (2.0 * qp)), 0, LEVEL_MAX)
+    return (np.sign(c) * magnitude).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qp: int) -> np.ndarray:
+    """H.263 reconstruction of inter / intra-AC levels → float coefs."""
+    qp = check_qp(qp)
+    lv = np.asarray(levels, dtype=np.int64)
+    magnitude = qp * (2 * np.abs(lv) + 1)
+    if qp % 2 == 0:
+        magnitude = magnitude - 1
+    rec = np.sign(lv) * magnitude
+    rec = np.where(lv == 0, 0, rec)
+    return rec.astype(np.float64)
+
+
+def quantize_intra_dc(dc: np.ndarray) -> np.ndarray:
+    """Intra DC with fixed step 8, levels clamped to the 8-bit code range
+    1..254 (0 and 255 are reserved in H.263)."""
+    d = np.asarray(dc, dtype=np.float64)
+    level = np.rint(d / INTRA_DC_STEP)
+    return np.clip(level, 1, 254).astype(np.int32)
+
+
+def dequantize_intra_dc(levels: np.ndarray) -> np.ndarray:
+    lv = np.asarray(levels, dtype=np.int64)
+    if ((lv < 1) | (lv > 254)).any():
+        raise ValueError("intra DC levels must be in 1..254")
+    return (lv * INTRA_DC_STEP).astype(np.float64)

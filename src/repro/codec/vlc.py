@@ -1,0 +1,164 @@
+"""Generic variable-length-code machinery: deterministic Huffman
+construction, canonical code assignment and prefix decoding.
+
+The H.263 standard ships fixed VLC tables; rather than transcribing
+102 rows (and risking transcription errors that would silently skew
+every rate number), the tables here are *generated* as canonical
+Huffman codes over an explicit frequency model with the same shape as
+the standard's (short codes for low run / low level / non-LAST events,
+long escape for the rest).  The construction is deterministic, the
+Kraft sum is exactly 1, and encode/decode are exact inverses — all of
+which the test suite checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+from repro.codec.bitstream import BitReader
+
+Symbol = TypeVar("Symbol", bound=Hashable)
+
+
+def huffman_code_lengths(
+    symbols: Sequence[Symbol], weights: Sequence[float]
+) -> dict[Symbol, int]:
+    """Optimal prefix code lengths for ``symbols`` with ``weights``.
+
+    Ties are broken by symbol position, so the result depends only on
+    the input order — never on hash randomization.
+    """
+    if len(symbols) != len(weights):
+        raise ValueError("symbols and weights must have equal length")
+    if len(symbols) == 0:
+        raise ValueError("need at least one symbol")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    # Each heap entry: (weight, tiebreak, [symbol indices in subtree]).
+    heap: list[tuple[float, int, list[int]]] = [
+        (w, i, [i]) for i, w in enumerate(weights)
+    ]
+    heapq.heapify(heap)
+    depths = [0] * len(symbols)
+    counter = len(symbols)
+    while len(heap) > 1:
+        w1, _, members1 = heapq.heappop(heap)
+        w2, _, members2 = heapq.heappop(heap)
+        for index in members1 + members2:
+            depths[index] += 1
+        heapq.heappush(heap, (w1 + w2, counter, members1 + members2))
+        counter += 1
+    return {symbols[i]: depths[i] for i in range(len(symbols))}
+
+
+def canonical_codes(lengths: dict[Symbol, int], order: Sequence[Symbol]) -> dict[Symbol, tuple[int, int]]:
+    """Assign canonical codes ``(value, length)`` from code lengths.
+
+    ``order`` fixes the tie-break between symbols of equal length.
+    The resulting code set is prefix-free iff the lengths satisfy the
+    Kraft equality/inequality (Huffman lengths always do).
+    """
+    position = {sym: i for i, sym in enumerate(order)}
+    ranked = sorted(lengths.items(), key=lambda kv: (kv[1], position[kv[0]]))
+    codes: dict[Symbol, tuple[int, int]] = {}
+    code = 0
+    prev_len = ranked[0][1] if ranked else 0
+    for sym, length in ranked:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class VLCTable(Generic[Symbol]):
+    """A prefix code over a finite symbol set.
+
+    Built from a frequency model; provides ``encode`` (symbol →
+    ``(value, length)``) and ``decode`` (pull one symbol off a
+    :class:`BitReader`).
+    """
+
+    def __init__(self, symbols: Sequence[Symbol], weights: Sequence[float]) -> None:
+        lengths = huffman_code_lengths(list(symbols), list(weights))
+        self._codes = canonical_codes(lengths, list(symbols))
+        self._decode: dict[tuple[int, int], Symbol] = {
+            (value, length): sym for sym, (value, length) in self._codes.items()
+        }
+        self.max_length = max(length for _, length in self._codes.values())
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, symbol: Symbol) -> bool:
+        return symbol in self._codes
+
+    def encode(self, symbol: Symbol) -> tuple[int, int]:
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise KeyError(f"symbol {symbol!r} not in VLC table") from None
+
+    def code_length(self, symbol: Symbol) -> int:
+        return self.encode(symbol)[1]
+
+    def decode(self, reader: BitReader) -> Symbol:
+        value = 0
+        for length in range(1, self.max_length + 1):
+            value = (value << 1) | reader.read_bit()
+            sym = self._decode.get((value, length))
+            if sym is not None:
+                return sym
+        raise ValueError("invalid prefix: no VLC symbol matches")
+
+    def kraft_sum(self) -> float:
+        """Σ 2^-len over all codes; exactly 1.0 for a complete code."""
+        return sum(2.0 ** -length for _, length in self._codes.values())
+
+    def items(self) -> Iterable[tuple[Symbol, tuple[int, int]]]:
+        return self._codes.items()
+
+
+# -- exp-Golomb (used for motion vector differences) --------------------
+
+
+def ue_golomb_code(value: int) -> tuple[int, int]:
+    """Unsigned exp-Golomb ``(code_value, length)`` of ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"ue(v) needs v >= 0, got {value}")
+    v = value + 1
+    bits = v.bit_length()
+    return v, 2 * bits - 1
+
+
+def se_golomb_code(value: int) -> tuple[int, int]:
+    """Signed exp-Golomb mapping 0,+1,−1,+2,−2,… → 0,1,2,3,4,…"""
+    mapped = 2 * value - 1 if value > 0 else -2 * value
+    return ue_golomb_code(mapped)
+
+
+def se_golomb_bits(value: int) -> int:
+    """Length in bits of the signed exp-Golomb code for ``value``."""
+    return se_golomb_code(value)[1]
+
+
+def read_ue_golomb(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+        if zeros > 64:
+            raise ValueError("malformed exp-Golomb prefix")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value - 1
+
+
+def read_se_golomb(reader: BitReader) -> int:
+    mapped = read_ue_golomb(reader)
+    if mapped % 2:
+        return (mapped + 1) // 2
+    return -(mapped // 2)

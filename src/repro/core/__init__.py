@@ -1,0 +1,21 @@
+"""The paper's contribution: Adaptive Cost Block Matching (ACBM).
+
+ACBM runs the cheap predictive search on every macroblock and falls
+back to exhaustive full search only on *critical* blocks — those where
+neither of two acceptance conditions holds (Section 3.2):
+
+1. ``Intra_SAD + SAD_PBM < α + β·Qp²`` — the block is smooth and/or the
+   predictive match is already good, so full search could only buy a
+   negligible distortion improvement at a large rate/compute price.
+2. ``SAD_PBM < γ·Intra_SAD`` — the block is textured, but the
+   predictive SAD is small *relative to the block's own activity*,
+   i.e. near the attainable minimum.
+
+Paper defaults: α=1000, β=8, γ=¼ (tuned to match FSBM quality).
+"""
+
+from repro.core.acbm import ACBMEstimator
+from repro.core.classifier import BlockDecision, classify_block
+from repro.core.parameters import ACBMParameters
+
+__all__ = ["ACBMEstimator", "ACBMParameters", "BlockDecision", "classify_block"]

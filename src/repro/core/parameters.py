@@ -1,0 +1,77 @@
+"""ACBM tuning parameters (α, β, γ) and the Qp-dependent threshold.
+
+The paper's Section 3.2 introduces three fixed parameters:
+
+* ``α`` (alpha) — base acceptance threshold in SAD units.
+* ``β`` (beta)  — weight of the quadratic quantizer term; the combined
+  threshold is ``α + β·Qp²``.  Coarser quantization masks larger
+  matching errors, so the acceptance region grows with Qp.
+* ``γ`` (gamma) — relative-SAD acceptance for textured blocks:
+  accept the predictive vector when ``SAD_PBM < γ·Intra_SAD``.
+
+The paper's tuned operating point (quality ≈ FSBM) is α=1000, β=8,
+γ=¼.  The dataclass also exposes the two extremes the paper mentions:
+γ→∞/huge thresholds degenerate to pure PBM, α=β=γ=0 to pure FSBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ACBMParameters:
+    """Immutable ACBM configuration.
+
+    >>> ACBMParameters.paper_defaults().threshold(qp=20)
+    4200.0
+    """
+
+    alpha: float = 1000.0
+    beta: float = 8.0
+    gamma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be >= 0, got {self.beta}")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+
+    @staticmethod
+    def paper_defaults() -> "ACBMParameters":
+        """α=1000, β=8, γ=¼ — the values Section 4 fixes after its
+        exhaustive sweep, chosen to match FSBM quality."""
+        return ACBMParameters(alpha=1000.0, beta=8.0, gamma=0.25)
+
+    @staticmethod
+    def always_full_search() -> "ACBMParameters":
+        """Degenerate configuration that classifies every block critical
+        (ACBM ≡ PBM cost + FSBM result).  Used by tests and ablations."""
+        return ACBMParameters(alpha=0.0, beta=0.0, gamma=0.0)
+
+    @staticmethod
+    def never_full_search() -> "ACBMParameters":
+        """Degenerate configuration that always accepts the predictive
+        vector (ACBM ≡ PBM plus the Intra_SAD overhead)."""
+        return ACBMParameters(alpha=float("inf"), beta=0.0, gamma=0.0)
+
+    def threshold(self, qp: int) -> float:
+        """The acceptance threshold ``α + β·Qp²`` for condition 1."""
+        if not 1 <= qp <= 31:
+            raise ValueError(f"H.263 Qp must be in 1..31, got {qp}")
+        return self.alpha + self.beta * float(qp) ** 2
+
+    def with_(self, **changes) -> "ACBMParameters":
+        """Functional update helper for parameter sweeps.
+
+        >>> ACBMParameters.paper_defaults().with_(gamma=0.5).gamma
+        0.5
+        """
+        values = {"alpha": self.alpha, "beta": self.beta, "gamma": self.gamma}
+        unknown = set(changes) - set(values)
+        if unknown:
+            raise TypeError(f"unknown ACBM parameters: {sorted(unknown)}")
+        values.update(changes)
+        return ACBMParameters(**values)

@@ -1,0 +1,15 @@
+"""Experiment harnesses — one per paper table/figure.
+
+* :mod:`repro.experiments.fig4_characterization` — the Fig. 3 rig that
+  produces Fig. 4's (Intra_SAD, SAD_deviation) scatter classes.
+* :mod:`repro.experiments.rd_curves` — the Qp sweeps behind Figs. 5
+  (QCIF @ 30 fps) and 6 (QCIF @ 10 fps).
+* :mod:`repro.experiments.table1_complexity` — average search positions
+  per macroblock (Table 1).
+* :mod:`repro.experiments.runner` — ``python -m repro.experiments.runner``
+  command-line entry point.
+"""
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

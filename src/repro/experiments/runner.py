@@ -1,0 +1,131 @@
+"""Command-line entry point for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.runner fig4
+    python -m repro.experiments.runner fig5 --frames 21
+    python -m repro.experiments.runner fig6 --frames 21
+    python -m repro.experiments.runner table1 --frames 21 --qps 30 22 16
+    python -m repro.experiments.runner all
+
+Each subcommand prints the same rows/series the corresponding paper
+table or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.reporting import format_histogram
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4_characterization import run_fig4
+from repro.experiments.rd_curves import run_rd_sweep
+from repro.experiments.table1_complexity import run_table1
+
+
+def _config_from_args(args: argparse.Namespace, fps_list=None) -> ExperimentConfig:
+    kwargs = dict(frames=args.frames, seed=args.seed)
+    if args.sequences:
+        kwargs["sequences"] = tuple(args.sequences)
+    if args.qps:
+        kwargs["qps"] = tuple(args.qps)
+    if fps_list is not None:
+        kwargs["fps_list"] = fps_list
+    elif args.fps:
+        kwargs["fps_list"] = tuple(args.fps)
+    return ExperimentConfig(**kwargs)
+
+
+def _progress(message: str) -> None:
+    print(f"  ... {message}", file=sys.stderr, flush=True)
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    result = run_fig4(seed=args.seed)
+    print(result.as_text())
+    print()
+    print(format_histogram(result.class_counts(), title="Blocks per error class"))
+    print(f"\ntrue-vector fraction: {result.true_fraction():.1%}")
+
+
+def cmd_rd(args: argparse.Namespace, fps: int) -> None:
+    config = _config_from_args(args, fps_list=(fps,))
+    sweep = run_rd_sweep(config, progress=_progress if args.verbose else None)
+    print(sweep.as_text(fps))
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    config = _config_from_args(args)
+    table = run_table1(config, progress=_progress if args.verbose else None)
+    print(table.as_text())
+    print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    started = time.time()
+    cmd_fig4(args)
+    print("\n" + "=" * 70 + "\n")
+    config = _config_from_args(args)
+    sweep = run_rd_sweep(config, progress=_progress if args.verbose else None)
+    for fps in config.fps_list:
+        print(sweep.as_text(fps))
+        print("\n" + "=" * 70 + "\n")
+    table = run_table1(config, sweep=sweep)
+    print(table.as_text())
+    print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
+    print(f"\n[total wall time {time.time() - started:.1f}s]", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # Shared options live on a parent parser attached to every
+    # subcommand, so they are written *after* the command name
+    # (`runner table1 --frames 21`); nargs="+" options would otherwise
+    # swallow the command word.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--frames", type=int, default=21, help="30fps source frames per clip")
+    common.add_argument("--seed", type=int, default=0, help="synthesis seed")
+    common.add_argument("--verbose", action="store_true", help="print per-encode progress")
+    common.add_argument(
+        "--sequences", nargs="+", default=None, metavar="NAME",
+        help="subset of sequences (default: the paper's four)",
+    )
+    common.add_argument(
+        "--qps", nargs="+", type=int, default=None, metavar="QP",
+        help="subset of quantizer steps (default: 30 28 ... 16)",
+    )
+    common.add_argument(
+        "--fps", nargs="+", type=int, default=None, metavar="FPS",
+        help="frame rates to sweep (default: 30 10)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the tables/figures of Lopez et al., DATE 2005.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig4", parents=[common], help="Fig. 4 characterization scatter classes")
+    sub.add_parser("fig5", parents=[common], help="Fig. 5 RD curves, QCIF @ 30 fps")
+    sub.add_parser("fig6", parents=[common], help="Fig. 6 RD curves, QCIF @ 10 fps")
+    sub.add_parser("table1", parents=[common], help="Table 1 search-cost table")
+    sub.add_parser("all", parents=[common], help="everything, sharing one sweep")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig4":
+        cmd_fig4(args)
+    elif args.command == "fig5":
+        cmd_rd(args, fps=30)
+    elif args.command == "fig6":
+        cmd_rd(args, fps=10)
+    elif args.command == "table1":
+        cmd_table1(args)
+    elif args.command == "all":
+        cmd_all(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Block-matching motion-estimation substrate.
+
+Contains the metrics the paper defines (SAD, Intra_SAD, SAD_deviation),
+the two algorithms ACBM is built from (full search and predictive
+search), the classic fast-search baselines the paper cites, half-pel
+refinement and search-cost accounting.
+"""
+
+from repro.me.estimator import MotionEstimator, available_estimators, create_estimator
+from repro.me.full_search import FullSearchEstimator
+from repro.me.predictive import PredictiveEstimator
+from repro.me.types import BlockResult, MotionField, MotionVector
+from repro.me.stats import SearchStats
+
+__all__ = [
+    "BlockResult",
+    "FullSearchEstimator",
+    "MotionEstimator",
+    "MotionField",
+    "MotionVector",
+    "PredictiveEstimator",
+    "SearchStats",
+    "available_estimators",
+    "create_estimator",
+]

@@ -1,0 +1,102 @@
+"""Shared candidate bookkeeping for the non-exhaustive searches.
+
+Predictive, three-step, four-step, diamond and cross-diamond searches
+all do the same inner operation: evaluate the SAD at an integer
+displacement, skipping displacements outside the window and ones
+already visited, while counting evaluations.  :class:`CandidateEvaluator`
+centralizes that so every algorithm's position accounting is consistent
+with the paper's (each *distinct* candidate position counts once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.me.metrics import sad
+from repro.me.search_window import SearchWindow
+from repro.me.types import MotionVector
+
+
+class CandidateEvaluator:
+    """Evaluates integer-pel candidates for one block, with memoization.
+
+    Tracks the running best (SAD, shortest-vector tie-break identical to
+    the full search's) and the number of evaluated positions.
+    """
+
+    def __init__(
+        self,
+        block: np.ndarray,
+        reference: np.ndarray,
+        block_y: int,
+        block_x: int,
+        window: SearchWindow,
+    ) -> None:
+        self.block = block
+        self.reference = reference
+        self.block_y = block_y
+        self.block_x = block_x
+        self.window = window
+        self._cache: dict[tuple[int, int], int] = {}
+        self.best_dx: int | None = None
+        self.best_dy: int | None = None
+        self.best_sad: int | None = None
+
+    @property
+    def positions(self) -> int:
+        """Distinct candidate positions evaluated so far."""
+        return len(self._cache)
+
+    @staticmethod
+    def _tiebreak_key(dx: int, dy: int) -> tuple[int, int, int, int, int]:
+        return (max(abs(dx), abs(dy)), abs(dy), abs(dx), dy, dx)
+
+    def evaluate(self, dx: int, dy: int) -> int | None:
+        """SAD at displacement ``(dx, dy)``; ``None`` if outside the
+        window.  Re-evaluating a visited position is free (cached) and
+        does not increment the position count."""
+        if not self.window.contains(dx, dy):
+            return None
+        key = (dx, dy)
+        cached = self._cache.get(key)
+        if cached is not None:
+            value = cached
+        else:
+            s = self.block.shape[0]
+            y = self.block_y + dy
+            x = self.block_x + dx
+            ref_block = self.reference[y : y + s, x : x + self.block.shape[1]]
+            value = sad(self.block, ref_block)
+            self._cache[key] = value
+        better = (
+            self.best_sad is None
+            or value < self.best_sad
+            or (
+                value == self.best_sad
+                and self._tiebreak_key(dx, dy) < self._tiebreak_key(self.best_dx, self.best_dy)
+            )
+        )
+        if better:
+            self.best_dx, self.best_dy, self.best_sad = dx, dy, value
+        return value
+
+    def evaluate_many(self, displacements) -> None:
+        """Evaluate an iterable of ``(dx, dy)`` displacements."""
+        for dx, dy in displacements:
+            self.evaluate(dx, dy)
+
+    def best(self) -> tuple[MotionVector, int]:
+        """Best integer-pel vector found and its SAD."""
+        if self.best_sad is None:
+            raise RuntimeError("no candidate evaluated yet")
+        return MotionVector(2 * self.best_dx, 2 * self.best_dy), self.best_sad
+
+    def descend(self, pattern, max_steps: int) -> None:
+        """Greedy descent: repeatedly re-centre ``pattern`` (a list of
+        ``(dx, dy)`` offsets) on the current best until no improvement
+        or ``max_steps`` recentrings."""
+        for _ in range(max_steps):
+            centre = (self.best_dx, self.best_dy)
+            self.evaluate_many((centre[0] + ox, centre[1] + oy) for ox, oy in pattern)
+            if (self.best_dx, self.best_dy) == centre:
+                return

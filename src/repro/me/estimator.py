@@ -1,0 +1,189 @@
+"""Motion-estimator interface, frame driver and registry.
+
+Every algorithm (full search, predictive, ACBM, the fast-search
+baselines) implements one method — :meth:`MotionEstimator.search_block`
+— and inherits :meth:`MotionEstimator.estimate`, which walks the
+macroblock grid in raster order (the order H.263 encodes, and the order
+that makes the left/top spatial predictors of Fig. 2 available),
+assembling a :class:`MotionField` and a :class:`SearchStats`.
+
+Estimators are stateless between frames; temporal context (the previous
+frame's motion field) is passed in explicitly so the same instance can
+serve several concurrent encodes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.me.stats import SearchStats
+from repro.me.types import BlockResult, MotionField
+
+
+@dataclass
+class BlockContext:
+    """Everything a search needs to decide one macroblock's vector."""
+
+    current: np.ndarray
+    reference: np.ndarray
+    mb_row: int
+    mb_col: int
+    block_size: int
+    field: MotionField
+    prev_field: MotionField | None
+    qp: int
+
+    @property
+    def block_y(self) -> int:
+        return self.mb_row * self.block_size
+
+    @property
+    def block_x(self) -> int:
+        return self.mb_col * self.block_size
+
+    @property
+    def block(self) -> np.ndarray:
+        s = self.block_size
+        return self.current[self.block_y : self.block_y + s, self.block_x : self.block_x + s]
+
+
+class MotionEstimator(ABC):
+    """Base class for all block-matching estimators.
+
+    Parameters
+    ----------
+    p:
+        Maximum integer displacement (the paper evaluates p = 15).
+    block_size:
+        Luma block edge (16 throughout the paper).
+    half_pel:
+        Whether the final vector is refined to half-pel precision, as
+        in the paper's H.263 setting.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = ""
+
+    def __init__(self, p: int = 15, block_size: int = 16, half_pel: bool = True) -> None:
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.p = p
+        self.block_size = block_size
+        self.half_pel = half_pel
+
+    @abstractmethod
+    def search_block(self, ctx: BlockContext) -> BlockResult:
+        """Find the motion vector for the macroblock described by ``ctx``."""
+
+    def estimate(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        prev_field: MotionField | None = None,
+        qp: int = 16,
+    ) -> tuple[MotionField, SearchStats]:
+        """Estimate the motion field of ``current`` against ``reference``.
+
+        Planes must share shape and be exact multiples of the block
+        size.  Returns the completed field and the search-cost stats.
+        """
+        cur = np.asarray(current)
+        ref = np.asarray(reference)
+        if cur.shape != ref.shape:
+            raise ValueError(f"plane shapes differ: {cur.shape} vs {ref.shape}")
+        h, w = cur.shape
+        s = self.block_size
+        if h % s or w % s:
+            raise ValueError(f"plane {cur.shape} not a multiple of block size {s}")
+        rows, cols = h // s, w // s
+        if prev_field is not None and (prev_field.mb_rows, prev_field.mb_cols) != (rows, cols):
+            raise ValueError(
+                f"previous field {prev_field.mb_rows}x{prev_field.mb_cols} "
+                f"does not match {rows}x{cols} grid"
+            )
+        field = MotionField(rows, cols)
+        stats = SearchStats()
+        for r in range(rows):
+            for c in range(cols):
+                ctx = BlockContext(
+                    current=cur,
+                    reference=ref,
+                    mb_row=r,
+                    mb_col=c,
+                    block_size=s,
+                    field=field,
+                    prev_field=prev_field,
+                    qp=qp,
+                )
+                result = self.search_block(ctx)
+                field.set(r, c, result.mv)
+                stats.record_block(
+                    result.positions,
+                    used_full_search=result.used_full_search,
+                    decision=getattr(result, "decision", None),
+                )
+        return field, stats
+
+
+# -- registry -----------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[..., MotionEstimator]] = {}
+
+
+def register_estimator(name: str) -> Callable[[type], type]:
+    """Class decorator registering an estimator under ``name``."""
+
+    def wrap(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ValueError(f"estimator {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def _load_builtin_estimators() -> None:
+    """Import the implementation modules so they self-register.
+
+    Done lazily (not at package import) to avoid import cycles between
+    ``repro.me`` and ``repro.core``.
+    """
+    from repro import core  # noqa: F401
+    from repro.me import (  # noqa: F401
+        cross_diamond,
+        diamond,
+        four_step,
+        full_search,
+        hexagon,
+        new_three_step,
+        predictive,
+        three_step,
+    )
+
+
+def available_estimators() -> tuple[str, ...]:
+    """Registered estimator names, sorted."""
+    _load_builtin_estimators()
+    return tuple(sorted(_REGISTRY))
+
+
+def create_estimator(name: str, **kwargs) -> MotionEstimator:
+    """Instantiate a registered estimator by name.
+
+    >>> est = create_estimator("fsbm", p=15)
+    >>> est.name
+    'fsbm'
+    """
+    _load_builtin_estimators()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown estimator {name!r}; available: {available_estimators()}") from None
+    return factory(**kwargs)

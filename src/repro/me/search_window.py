@@ -1,0 +1,88 @@
+"""Search-window geometry and candidate clamping.
+
+The paper's search area is ``(N + 2p) x (M + 2p)`` centred on the
+reference block's position (Fig. 1).  Near frame borders the area is
+clipped to the reference plane — H.263 baseline has no unrestricted MV
+mode, so every candidate block must lie fully inside the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SearchWindow:
+    """Valid integer displacement ranges for one block.
+
+    ``dx`` spans ``[dx_min, dx_max]`` inclusive, likewise ``dy``; both
+    always contain 0 (the collocated candidate is always legal).
+    """
+
+    dx_min: int
+    dx_max: int
+    dy_min: int
+    dy_max: int
+
+    def __post_init__(self) -> None:
+        if self.dx_min > 0 or self.dx_max < 0 or self.dy_min > 0 or self.dy_max < 0:
+            raise ValueError(f"search window must contain the zero vector: {self}")
+
+    @property
+    def num_positions(self) -> int:
+        return (self.dx_max - self.dx_min + 1) * (self.dy_max - self.dy_min + 1)
+
+    def contains(self, dx: int, dy: int) -> bool:
+        return self.dx_min <= dx <= self.dx_max and self.dy_min <= dy <= self.dy_max
+
+    def clamp(self, dx: int, dy: int) -> tuple[int, int]:
+        """Project an arbitrary displacement onto the window."""
+        return (
+            min(max(dx, self.dx_min), self.dx_max),
+            min(max(dy, self.dy_min), self.dy_max),
+        )
+
+
+def clamped_window(
+    block_y: int,
+    block_x: int,
+    block_h: int,
+    block_w: int,
+    plane_h: int,
+    plane_w: int,
+    p: int,
+) -> SearchWindow:
+    """Displacement bounds for the block at pixel ``(block_y, block_x)``
+    with maximum displacement ``p``, clipped so every candidate block
+    stays inside the ``plane_h x plane_w`` reference plane.
+
+    Raises if the block itself doesn't fit in the plane.
+    """
+    if p < 0:
+        raise ValueError(f"max displacement p must be >= 0, got {p}")
+    if not (0 <= block_y <= plane_h - block_h and 0 <= block_x <= plane_w - block_w):
+        raise ValueError(
+            f"block at ({block_y}, {block_x}) size {block_h}x{block_w} "
+            f"outside plane {plane_h}x{plane_w}"
+        )
+    return SearchWindow(
+        dx_min=max(-p, -block_x),
+        dx_max=min(p, plane_w - block_w - block_x),
+        dy_min=max(-p, -block_y),
+        dy_max=min(p, plane_h - block_h - block_y),
+    )
+
+
+def half_pel_window(window: SearchWindow) -> SearchWindow:
+    """The same bounds expressed in half-pel units.
+
+    Half-pel samples at the very frame edge interpolate between the two
+    outermost integer columns/rows, so the half-pel range is exactly
+    twice the integer range (no extra shrinkage needed).
+    """
+    return SearchWindow(
+        dx_min=2 * window.dx_min,
+        dx_max=2 * window.dx_max,
+        dy_min=2 * window.dy_min,
+        dy_max=2 * window.dy_max,
+    )

@@ -1,0 +1,74 @@
+"""Search-cost accounting.
+
+The paper reports computational complexity as the *average number of
+candidate positions searched per macroblock* (Table 1) — 969 for FSBM
+with p = 15 (961 integer + 8 half-pel).  :class:`SearchStats`
+accumulates exactly that across blocks and frames, plus the ACBM
+decision mix (how often each classifier branch fired).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Accumulates per-block search outcomes across a run."""
+
+    blocks: int = 0
+    positions: int = 0
+    full_search_blocks: int = 0
+    #: ACBM decision counts keyed by branch name (see core.classifier).
+    decisions: dict[str, int] = field(default_factory=dict)
+
+    def record_block(
+        self,
+        positions: int,
+        used_full_search: bool = False,
+        decision: str | None = None,
+    ) -> None:
+        if positions < 1:
+            raise ValueError(f"positions must be >= 1, got {positions}")
+        self.blocks += 1
+        self.positions += positions
+        if used_full_search:
+            self.full_search_blocks += 1
+        if decision is not None:
+            self.decisions[decision] = self.decisions.get(decision, 0) + 1
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another accumulator into this one (frame → sequence)."""
+        self.blocks += other.blocks
+        self.positions += other.positions
+        self.full_search_blocks += other.full_search_blocks
+        for key, count in other.decisions.items():
+            self.decisions[key] = self.decisions.get(key, 0) + count
+
+    @property
+    def avg_positions_per_block(self) -> float:
+        """Table 1's quantity.  0.0 before any block is recorded."""
+        if self.blocks == 0:
+            return 0.0
+        return self.positions / self.blocks
+
+    @property
+    def full_search_fraction(self) -> float:
+        """Fraction of blocks classified critical (ACBM only)."""
+        if self.blocks == 0:
+            return 0.0
+        return self.full_search_blocks / self.blocks
+
+    def reduction_vs(self, reference_positions_per_block: float) -> float:
+        """Relative saving against a reference cost, e.g. 969 for FSBM
+        p=15: the paper's "up to 95%" headline number."""
+        if reference_positions_per_block <= 0:
+            raise ValueError("reference cost must be positive")
+        return 1.0 - self.avg_positions_per_block / reference_positions_per_block
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchStats(blocks={self.blocks}, "
+            f"avg_positions={self.avg_positions_per_block:.1f}, "
+            f"full_search={self.full_search_fraction:.1%})"
+        )

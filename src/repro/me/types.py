@@ -1,0 +1,191 @@
+"""Core motion-estimation value types.
+
+Sign convention (paper Fig. 1): a motion vector ``(dx, dy)`` means the
+best-matched block for the current-frame block at pixel ``(y, x)`` sits
+at ``(y + dy, x + dx)`` in the *reference* (previous) frame.
+
+Half-pel precision is represented exactly: :class:`MotionVector` stores
+displacements as integers in **half-pel units**, so ``MotionVector(3, -2)``
+is ``(+1.5, -1.0)`` pixels.  This keeps every comparison and the H.263
+MVD coder exact (no float equality anywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class MotionVector:
+    """A displacement in half-pel units.
+
+    Attributes
+    ----------
+    hx, hy:
+        Horizontal / vertical displacement in half-pels (2 = one pixel).
+    """
+
+    hx: int
+    hy: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.hx, (int, np.integer)) or not isinstance(
+            self.hy, (int, np.integer)
+        ):
+            raise TypeError(f"half-pel components must be integers, got ({self.hx!r}, {self.hy!r})")
+        object.__setattr__(self, "hx", int(self.hx))
+        object.__setattr__(self, "hy", int(self.hy))
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def zero() -> "MotionVector":
+        return MotionVector(0, 0)
+
+    @staticmethod
+    def from_pixels(dx: float, dy: float) -> "MotionVector":
+        """Build from pixel units; the displacement must land exactly on
+        the half-pel grid."""
+        hx, hy = 2.0 * dx, 2.0 * dy
+        if hx != round(hx) or hy != round(hy):
+            raise ValueError(f"({dx}, {dy}) px is not on the half-pel grid")
+        return MotionVector(int(round(hx)), int(round(hy)))
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def x_pixels(self) -> float:
+        return self.hx / 2.0
+
+    @property
+    def y_pixels(self) -> float:
+        return self.hy / 2.0
+
+    @property
+    def is_integer_pel(self) -> bool:
+        return self.hx % 2 == 0 and self.hy % 2 == 0
+
+    @property
+    def is_zero(self) -> bool:
+        return self.hx == 0 and self.hy == 0
+
+    def integer_part(self) -> "MotionVector":
+        """Truncate toward zero onto the integer-pel grid (the anchor a
+        half-pel refinement searches around)."""
+        return MotionVector(2 * int(self.hx / 2), 2 * int(self.hy / 2))
+
+    # -- algebra ---------------------------------------------------------
+
+    def __add__(self, other: "MotionVector") -> "MotionVector":
+        return MotionVector(self.hx + other.hx, self.hy + other.hy)
+
+    def __sub__(self, other: "MotionVector") -> "MotionVector":
+        return MotionVector(self.hx - other.hx, self.hy - other.hy)
+
+    def __neg__(self) -> "MotionVector":
+        return MotionVector(-self.hx, -self.hy)
+
+    def chebyshev_pixels(self) -> float:
+        """L-inf norm in pixels — the error measure of the Fig. 4 rig."""
+        return max(abs(self.hx), abs(self.hy)) / 2.0
+
+    def magnitude_pixels(self) -> float:
+        return float(np.hypot(self.hx, self.hy)) / 2.0
+
+    def __repr__(self) -> str:
+        return f"MV({self.x_pixels:+g}, {self.y_pixels:+g})"
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """Outcome of a motion search for a single macroblock.
+
+    Attributes
+    ----------
+    mv:
+        Selected motion vector.
+    sad:
+        SAD of the selected candidate (at the selected precision).
+    positions:
+        Candidate positions *evaluated* to reach the decision — the
+        paper's computational-complexity currency (Table 1).
+    used_full_search:
+        ACBM bookkeeping: whether this block was classified critical.
+    """
+
+    mv: MotionVector
+    sad: int
+    positions: int
+    used_full_search: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sad < 0:
+            raise ValueError(f"SAD must be >= 0, got {self.sad}")
+        if self.positions < 1:
+            raise ValueError(f"positions must be >= 1, got {self.positions}")
+
+
+class MotionField:
+    """A per-macroblock grid of motion vectors for one frame.
+
+    Provides the spatio-temporal neighbourhood access the predictive
+    estimator needs (paper Fig. 2) with border handling: predictors that
+    fall outside the grid simply don't exist and are skipped.
+    """
+
+    def __init__(self, mb_rows: int, mb_cols: int) -> None:
+        if mb_rows < 1 or mb_cols < 1:
+            raise ValueError(f"empty motion field {mb_rows}x{mb_cols}")
+        self.mb_rows = mb_rows
+        self.mb_cols = mb_cols
+        self._mvs: list[list[MotionVector | None]] = [
+            [None] * mb_cols for _ in range(mb_rows)
+        ]
+
+    @staticmethod
+    def zeros(mb_rows: int, mb_cols: int) -> "MotionField":
+        field = MotionField(mb_rows, mb_cols)
+        for r in range(mb_rows):
+            for c in range(mb_cols):
+                field.set(r, c, MotionVector.zero())
+        return field
+
+    def get(self, mb_row: int, mb_col: int) -> MotionVector | None:
+        """Vector at (row, col); ``None`` if out of range or not yet set."""
+        if 0 <= mb_row < self.mb_rows and 0 <= mb_col < self.mb_cols:
+            return self._mvs[mb_row][mb_col]
+        return None
+
+    def set(self, mb_row: int, mb_col: int, mv: MotionVector) -> None:
+        if not (0 <= mb_row < self.mb_rows and 0 <= mb_col < self.mb_cols):
+            raise IndexError(f"({mb_row}, {mb_col}) outside {self.mb_rows}x{self.mb_cols} field")
+        self._mvs[mb_row][mb_col] = mv
+
+    @property
+    def is_complete(self) -> bool:
+        return all(mv is not None for row in self._mvs for mv in row)
+
+    def __iter__(self) -> Iterator[tuple[int, int, MotionVector | None]]:
+        for r in range(self.mb_rows):
+            for c in range(self.mb_cols):
+                yield r, c, self._mvs[r][c]
+
+    def vectors(self) -> list[MotionVector]:
+        """All assigned vectors in raster order (skips unset cells)."""
+        return [mv for _, _, mv in self if mv is not None]
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(hx, hy) int arrays of shape (mb_rows, mb_cols); unset cells
+        raise, because exporting a partial field is always a bug."""
+        if not self.is_complete:
+            raise ValueError("motion field has unset entries")
+        hx = np.array([[self._mvs[r][c].hx for c in range(self.mb_cols)] for r in range(self.mb_rows)])
+        hy = np.array([[self._mvs[r][c].hy for c in range(self.mb_cols)] for r in range(self.mb_rows)])
+        return hx, hy
+
+    def __repr__(self) -> str:
+        filled = sum(mv is not None for _, _, mv in self)
+        return f"MotionField({self.mb_rows}x{self.mb_cols}, {filled} set)"

@@ -1,0 +1,6 @@
+"""Video substrate: frames, sequences, raw YUV I/O and synthesis."""
+
+from repro.video.frame import CIF, QCIF, Frame, FrameGeometry
+from repro.video.sequence import Sequence
+
+__all__ = ["CIF", "QCIF", "Frame", "FrameGeometry", "Sequence"]

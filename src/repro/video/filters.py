@@ -1,0 +1,87 @@
+"""Small separable image filters used by the synthesis generators.
+
+Only numpy is required; kernels are applied with edge replication so
+filtered planes keep their original shape, which matters because every
+frame must stay an exact multiple of the macroblock size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def box_kernel(radius: int) -> np.ndarray:
+    """Normalized 1-D box kernel of half-width ``radius``."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    n = 2 * radius + 1
+    return np.full(n, 1.0 / n)
+
+
+def binomial_kernel(radius: int) -> np.ndarray:
+    """Normalized 1-D binomial (approximately Gaussian) kernel."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    kernel = np.array([1.0])
+    for _ in range(2 * radius):
+        kernel = np.convolve(kernel, [0.5, 0.5])
+    return kernel
+
+
+def convolve_rows(plane: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolve each row with ``kernel`` using edge replication."""
+    radius = len(kernel) // 2
+    if radius == 0:
+        return plane.astype(np.float64) * kernel[0]
+    padded = np.pad(plane.astype(np.float64), ((0, 0), (radius, radius)), mode="edge")
+    out = np.zeros_like(plane, dtype=np.float64)
+    for k, weight in enumerate(kernel):
+        out += weight * padded[:, k : k + plane.shape[1]]
+    return out
+
+
+def convolve_cols(plane: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolve each column with ``kernel`` using edge replication."""
+    return convolve_rows(plane.T, kernel).T
+
+
+def smooth(plane: np.ndarray, radius: int, kernel: str = "binomial") -> np.ndarray:
+    """Separable 2-D smoothing.
+
+    Parameters
+    ----------
+    radius:
+        Kernel half-width; ``0`` is a no-op copy.
+    kernel:
+        ``"binomial"`` (default, Gaussian-like) or ``"box"``.
+    """
+    if kernel == "binomial":
+        k = binomial_kernel(radius)
+    elif kernel == "box":
+        k = box_kernel(radius)
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}")
+    return convolve_cols(convolve_rows(plane, k), k)
+
+
+def gradient_magnitude(plane: np.ndarray) -> np.ndarray:
+    """First-difference gradient magnitude, shape-preserving.
+
+    Used by tests and analysis to quantify how "textured" a synthetic
+    frame is (the paper's Intra_SAD plays the same role per block).
+    """
+    p = plane.astype(np.float64)
+    gx = np.zeros_like(p)
+    gy = np.zeros_like(p)
+    gx[:, 1:] = p[:, 1:] - p[:, :-1]
+    gy[1:, :] = p[1:, :] - p[:-1, :]
+    return np.hypot(gx, gy)
+
+
+def downsample2(plane: np.ndarray) -> np.ndarray:
+    """2x2 mean downsampling (used to derive chroma from luma fields)."""
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        raise ValueError(f"plane dimensions must be even, got {h}x{w}")
+    p = plane.astype(np.float64)
+    return 0.25 * (p[0::2, 0::2] + p[1::2, 0::2] + p[0::2, 1::2] + p[1::2, 1::2])

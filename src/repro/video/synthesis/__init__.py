@@ -1,0 +1,14 @@
+"""Deterministic synthetic video generation.
+
+The original QCIF clips used in the paper (Carphone, Foreman, Miss
+America, Table) are not redistributable and unavailable offline, so the
+experiments run on seeded synthetic analogs built here.  Each analog is
+calibrated to match the property of its namesake that the paper's
+conclusions actually depend on: texture energy (drives Intra_SAD) and
+motion type/magnitude (drives the predictive estimator's success rate).
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.video.synthesis.sequences import available_sequences, make_sequence
+
+__all__ = ["available_sequences", "make_sequence"]

@@ -1,0 +1,171 @@
+"""Motion models: subpixel warping and camera trajectories.
+
+A scene is rendered into a *world* plane larger than the frame; a
+camera then crops a frame-sized window at a (float) offset per frame.
+Global motion — pan, shake, slow zoom — is therefore exact and known in
+advance, which the Fig. 4 characterization rig exploits: it compares
+FSBM output against ground-truth global displacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def sample_bilinear(plane: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Sample ``plane`` at float coordinates with bilinear interpolation.
+
+    Coordinates outside the plane are clamped to the border (edge
+    replication), so callers should keep trajectories inside the world
+    margin for distortion-free frames.
+    """
+    h, w = plane.shape
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.minimum(ys.astype(np.int64), h - 2) if h > 1 else np.zeros_like(ys, dtype=np.int64)
+    x0 = np.minimum(xs.astype(np.int64), w - 2) if w > 1 else np.zeros_like(xs, dtype=np.int64)
+    fy = ys - y0
+    fx = xs - x0
+    p = plane.astype(np.float64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    tl = p[y0, x0]
+    tr = p[y0, x1]
+    bl = p[y1, x0]
+    br = p[y1, x1]
+    top = tl * (1 - fx) + tr * fx
+    bottom = bl * (1 - fx) + br * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def crop_window(
+    world: np.ndarray,
+    offset_y: float,
+    offset_x: float,
+    height: int,
+    width: int,
+    zoom: float = 1.0,
+) -> np.ndarray:
+    """Extract a ``height``x``width`` window whose top-left sits at the
+    float world coordinate ``(offset_y, offset_x)``.
+
+    ``zoom > 1`` magnifies (the window covers *less* world), sampling
+    around the window centre so zooming keeps the subject centred.
+    """
+    if zoom <= 0:
+        raise ValueError(f"zoom must be positive, got {zoom}")
+    cy = offset_y + (height - 1) / 2.0
+    cx = offset_x + (width - 1) / 2.0
+    step = 1.0 / zoom
+    ys = cy + (np.arange(height) - (height - 1) / 2.0) * step
+    xs = cx + (np.arange(width) - (width - 1) / 2.0) * step
+    grid_y = np.repeat(ys[:, None], width, axis=1)
+    grid_x = np.repeat(xs[None, :], height, axis=0)
+    return sample_bilinear(world, grid_y, grid_x)
+
+
+def translate(plane: np.ndarray, dy: float, dx: float) -> np.ndarray:
+    """Shift a plane by a (possibly fractional) displacement.
+
+    The output pixel at (y, x) takes the value of input (y - dy, x - dx),
+    i.e. positive ``dx`` moves content to the right — matching the
+    motion-vector sign convention used throughout ``repro.me``.
+    """
+    h, w = plane.shape
+    ys = np.arange(h, dtype=np.float64)[:, None] - dy
+    xs = np.arange(w, dtype=np.float64)[None, :] - dx
+    grid_y = np.repeat(ys, w, axis=1)
+    grid_x = np.repeat(xs, h, axis=0)
+    return sample_bilinear(plane, grid_y, grid_x)
+
+
+@dataclass(frozen=True)
+class CameraPose:
+    """Camera state for one frame: world offset of the window top-left
+    plus an optional zoom factor."""
+
+    offset_y: float
+    offset_x: float
+    zoom: float = 1.0
+
+
+class CameraPath:
+    """A precomputed list of :class:`CameraPose`, one per frame."""
+
+    def __init__(self, poses: list[CameraPose]) -> None:
+        if not poses:
+            raise ValueError("camera path needs at least one pose")
+        self.poses = list(poses)
+
+    def __len__(self) -> int:
+        return len(self.poses)
+
+    def __getitem__(self, i: int) -> CameraPose:
+        return self.poses[i]
+
+    @staticmethod
+    def static(frames: int, offset_y: float, offset_x: float) -> "CameraPath":
+        """Fixed tripod camera."""
+        return CameraPath([CameraPose(offset_y, offset_x)] * frames)
+
+    @staticmethod
+    def pan(
+        frames: int,
+        start_y: float,
+        start_x: float,
+        velocity_y: float,
+        velocity_x: float,
+        reverse_at: int | None = None,
+    ) -> "CameraPath":
+        """Constant-velocity pan, optionally reversing direction at
+        frame ``reverse_at`` — that frame is the turning point: the
+        pan's extreme pose (Foreman's abrupt camera swing)."""
+        poses = []
+        y, x = start_y, start_x
+        vy, vx = velocity_y, velocity_x
+        for i in range(frames):
+            poses.append(CameraPose(y, x))
+            if reverse_at is not None and i == reverse_at:
+                vy, vx = -vy, -vx
+            y += vy
+            x += vx
+        return CameraPath(poses)
+
+    @staticmethod
+    def shake(
+        frames: int,
+        offset_y: float,
+        offset_x: float,
+        sigma: float,
+        seed: int,
+        drift_y: float = 0.0,
+        drift_x: float = 0.0,
+    ) -> "CameraPath":
+        """Hand-held jitter: a bounded random walk around a drifting
+        centre (Carphone's in-car camera)."""
+        rng = np.random.default_rng(seed)
+        poses = []
+        jy = jx = 0.0
+        for i in range(frames):
+            poses.append(CameraPose(offset_y + drift_y * i + jy, offset_x + drift_x * i + jx))
+            jy = np.clip(jy + rng.normal(0.0, sigma), -3.0 * sigma, 3.0 * sigma)
+            jx = np.clip(jx + rng.normal(0.0, sigma), -3.0 * sigma, 3.0 * sigma)
+        return CameraPath(poses)
+
+    @staticmethod
+    def zoom(
+        frames: int,
+        offset_y: float,
+        offset_x: float,
+        start_zoom: float = 1.0,
+        zoom_per_frame: float = 0.002,
+    ) -> "CameraPath":
+        """Slow linear zoom (the Table-tennis camera pull)."""
+        return CameraPath(
+            [
+                CameraPose(offset_y, offset_x, zoom=start_zoom + zoom_per_frame * i)
+                for i in range(frames)
+            ]
+        )

@@ -1,0 +1,475 @@
+"""Synthetic analogs of the paper's four QCIF test clips.
+
+Each preset targets the qualitative properties that drive the paper's
+results (Section 4 and Table 1):
+
+===============  =================  ====================================
+Preset           Texture (Intra_SAD) Motion character
+===============  =================  ====================================
+miss_america     lowest             near-static head sway, tripod camera
+carphone         medium             talking head + fast background seen
+                                    through a window, hand-held jitter
+table            medium             fast bouncing ball + paddle, slow zoom
+foreman          highest            detailed wall, strong camera pan with
+                                    an abrupt direction reversal
+===============  =================  ====================================
+
+All presets are deterministic in ``(name, frames, seed, geometry)``.
+The scene renderer composites seeded textures and sprites into a world
+plane and crops camera windows from it, so global motion is known
+exactly — the property the Fig. 4 rig needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.video.filters import downsample2, gradient_magnitude, smooth
+from repro.video.frame import Frame, FrameGeometry, QCIF
+from repro.video.sequence import Sequence
+from repro.video.synthesis.motion_models import CameraPath, CameraPose, crop_window
+from repro.video.synthesis.noise import white_noise
+from repro.video.synthesis.sprites import (
+    Sprite,
+    bounce_path,
+    disc_mask,
+    ellipse_mask,
+    linear_path,
+    rect_mask,
+    sway_path,
+)
+from repro.video.synthesis.texture import (
+    gradient_field,
+    noise_texture,
+    stripe_field,
+)
+
+
+@dataclass
+class SceneSpec:
+    """Full description of a synthetic scene.
+
+    ``background`` is built once (the world is static; all apparent
+    background motion comes from the camera), sprites are re-composited
+    every frame, and the camera path selects the visible window.
+    """
+
+    name: str
+    geometry: FrameGeometry
+    frames: int
+    margin: int
+    background: np.ndarray
+    camera: CameraPath
+    sprites: list[Sprite] = field(default_factory=list)
+    sensor_noise_sigma: float = 1.0
+    #: Peak sigma of gradient-coupled temporal shimmer (see
+    #: :func:`render_scene`).  Models the per-frame appearance change of
+    #: real video — deformation, lighting flicker, resampling aliasing —
+    #: which is what gives textured blocks their non-trivial
+    #: motion-compensated residual (SAD_PBM) in the paper's data.
+    shimmer_sigma: float = 0.0
+    chroma_gain: tuple[float, float] = (-0.12, 0.10)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        expected = (
+            self.geometry.height + 2 * self.margin,
+            self.geometry.width + 2 * self.margin,
+        )
+        if self.background.shape[0] < expected[0] or self.background.shape[1] < expected[1]:
+            raise ValueError(
+                f"background must be at least world-sized {expected}, "
+                f"got {self.background.shape}"
+            )
+        if len(self.camera) < self.frames:
+            raise ValueError(
+                f"camera path has {len(self.camera)} poses for {self.frames} frames"
+            )
+
+
+def render_scene(spec: SceneSpec) -> Sequence:
+    """Render a :class:`SceneSpec` into a 4:2:0 :class:`Sequence`.
+
+    Two per-frame noise terms are added on top of the composited scene:
+
+    * flat sensor noise (``sensor_noise_sigma``), and
+    * *gradient-coupled shimmer* (``shimmer_sigma``): zero-mean noise
+      whose local sigma scales with the normalized luma gradient.  Flat
+      areas stay clean while textured areas change slightly from frame
+      to frame — the temporal innovation that real cameras and moving
+      subjects exhibit and pure translation lacks.  Without it, the
+      motion-compensated residual of textured blocks would be
+      unrealistically near zero and ACBM's second condition
+      (``SAD_PBM < γ·Intra_SAD``) would never fail.
+    """
+    rng = np.random.default_rng(spec.seed ^ 0x5EED)
+    frames = []
+    h, w = spec.geometry.height, spec.geometry.width
+    gain_cb, gain_cr = spec.chroma_gain
+    for i in range(spec.frames):
+        world = spec.background.copy()
+        for sprite in spec.sprites:
+            sprite.render_onto(world, i)
+        pose = spec.camera[i]
+        luma = crop_window(world, pose.offset_y, pose.offset_x, h, w, zoom=pose.zoom)
+        if spec.shimmer_sigma > 0.0:
+            gradient = np.clip(gradient_magnitude(luma) / 40.0, 0.0, 1.0)
+            luma = luma + gradient * rng.normal(0.0, spec.shimmer_sigma, size=luma.shape)
+        luma = luma + white_noise(h, w, spec.sensor_noise_sigma, rng)
+        # Chroma derived from a low-passed luma so coloured regions track
+        # the scene structure without a second render pass.
+        low = smooth(luma, radius=2)
+        cb = 128.0 + gain_cb * (downsample2(low) - 128.0)
+        cr = 128.0 + gain_cr * (downsample2(low) - 128.0)
+        frames.append(Frame(luma, cb, cr, index=i))
+    return Sequence(frames, fps=30.0, name=spec.name)
+
+
+# -- preset helpers ----------------------------------------------------
+
+
+def _panned_shake_path(
+    frames: int,
+    offset_y: float,
+    offset_x: float,
+    velocity_x: float,
+    reverse_at: int | None,
+    jitter_sigma: float,
+    seed: int,
+) -> CameraPath:
+    """Pan plus hand-held jitter (Foreman's camera)."""
+    rng = np.random.default_rng(seed)
+    poses = []
+    x = offset_x
+    vx = velocity_x
+    jy = jx = 0.0
+    for i in range(frames):
+        poses.append(CameraPose(offset_y + jy, x + jx))
+        if reverse_at is not None and i == reverse_at:
+            vx = -vx
+        x += vx
+        if jitter_sigma > 0:
+            jy = float(np.clip(jy + rng.normal(0.0, jitter_sigma), -2.0, 2.0))
+            jx = float(np.clip(jx + rng.normal(0.0, jitter_sigma), -2.0, 2.0))
+    return CameraPath(poses)
+
+
+def _head_sprite(
+    height: int,
+    width: int,
+    seed: int,
+    amplitude: float,
+    centre: tuple[float, float],
+    sway_amp: tuple[float, float],
+    sway_period: float,
+    base: float = 150.0,
+    cell: int = 12,
+    octaves: int = 2,
+    persistence: float = 0.5,
+) -> Sprite:
+    """An elliptical 'head' with its own internal texture."""
+    texture = noise_texture(
+        height, width, seed=seed, cell=cell, octaves=octaves,
+        amplitude=amplitude, base=base, persistence=persistence,
+    )
+    return Sprite(
+        texture=texture,
+        mask=ellipse_mask(height, width, softness=2.5),
+        trajectory=sway_path(centre, sway_amp, sway_period),
+        chroma=(-6.0, 10.0),
+    )
+
+
+def _shoulders_sprite(
+    height: int,
+    width: int,
+    seed: int,
+    position: tuple[float, float],
+    sway_amp: tuple[float, float],
+    sway_period: float,
+    amplitude: float = 18.0,
+) -> Sprite:
+    texture = noise_texture(height, width, seed=seed, cell=20, octaves=2, amplitude=amplitude, base=95.0)
+    return Sprite(
+        texture=texture,
+        mask=ellipse_mask(height, width, softness=4.0),
+        trajectory=sway_path(position, sway_amp, sway_period, phase=0.7),
+    )
+
+
+# -- the four presets --------------------------------------------------
+
+
+def _miss_america_spec(frames: int, seed: int, geometry: FrameGeometry) -> SceneSpec:
+    """Smooth, homogeneous videophone scene: the paper's lowest-cost case."""
+    margin = 48
+    wh, ww = geometry.height + 2 * margin, geometry.width + 2 * margin
+    background = gradient_field(wh, ww, low=95.0, high=150.0, axis=0)
+    background += noise_texture(wh, ww, seed=seed + 11, cell=96, octaves=1, amplitude=6.0, base=0.0) - 0.0
+    head_h, head_w = int(geometry.height * 0.48), int(geometry.width * 0.33)
+    centre_y = margin + geometry.height * 0.18
+    centre_x = margin + geometry.width * 0.5 - head_w / 2.0
+    sprites = [
+        _shoulders_sprite(
+            int(geometry.height * 0.5),
+            int(geometry.width * 0.75),
+            seed + 21,
+            position=(margin + geometry.height * 0.62, margin + geometry.width * 0.125),
+            sway_amp=(0.6, 0.8),
+            sway_period=55.0,
+            amplitude=30.0,
+        ),
+        _head_sprite(
+            head_h,
+            head_w,
+            seed + 31,
+            amplitude=62.0,
+            centre=(centre_y, centre_x),
+            sway_amp=(0.8, 1.4),
+            sway_period=45.0,
+            base=160.0,
+            cell=6,
+            octaves=3,
+            persistence=0.8,
+        ),
+    ]
+    return SceneSpec(
+        name="miss_america",
+        geometry=geometry,
+        frames=frames,
+        margin=margin,
+        background=background,
+        camera=CameraPath.static(frames, margin, margin),
+        sprites=sprites,
+        sensor_noise_sigma=0.8,
+        shimmer_sigma=10.0,
+        chroma_gain=(-0.10, 0.14),
+        seed=seed,
+    )
+
+
+def _carphone_spec(frames: int, seed: int, geometry: FrameGeometry) -> SceneSpec:
+    """Talking head in a car: moderate texture, fast background through a
+    window, hand-held camera jitter."""
+    margin = 48
+    wh, ww = geometry.height + 2 * margin, geometry.width + 2 * margin
+    background = noise_texture(wh, ww, seed=seed + 12, cell=24, octaves=4, amplitude=95.0, base=118.0, persistence=0.65)
+    # Scrolling strip visible in the top-right "window": long textured
+    # band translating fast leftwards behind the head.
+    strip_h = int(geometry.height * 0.42)
+    strip_w = ww + 6 * frames + 64
+    strip_tex = noise_texture(strip_h, strip_w, seed=seed + 13, cell=12, octaves=5, amplitude=150.0, base=135.0, persistence=0.85)
+    window = Sprite(
+        texture=strip_tex,
+        mask=rect_mask(strip_h, strip_w, softness=3.0),
+        trajectory=linear_path((margin + 4.0, float(margin)), (0.0, -5.0)),
+    )
+    head_h, head_w = int(geometry.height * 0.52), int(geometry.width * 0.34)
+    sprites = [
+        window,
+        _shoulders_sprite(
+            int(geometry.height * 0.48),
+            int(geometry.width * 0.8),
+            seed + 22,
+            position=(margin + geometry.height * 0.64, margin + geometry.width * 0.08),
+            sway_amp=(1.2, 1.6),
+            sway_period=28.0,
+        ),
+        _head_sprite(
+            head_h,
+            head_w,
+            seed + 32,
+            amplitude=60.0,
+            centre=(margin + geometry.height * 0.14, margin + geometry.width * 0.30),
+            sway_amp=(1.8, 2.6),
+            sway_period=22.0,
+        ),
+    ]
+    return SceneSpec(
+        name="carphone",
+        geometry=geometry,
+        frames=frames,
+        margin=margin,
+        background=background,
+        camera=CameraPath.shake(frames, margin, margin, sigma=0.35, seed=seed + 42),
+        sprites=sprites,
+        sensor_noise_sigma=1.1,
+        shimmer_sigma=9.5,
+        chroma_gain=(-0.13, 0.11),
+        seed=seed,
+    )
+
+
+def _foreman_spec(frames: int, seed: int, geometry: FrameGeometry) -> SceneSpec:
+    """High-texture construction-site scene with a strong pan that
+    reverses mid-clip: the paper's hardest case for prediction."""
+    margin = 64
+    wh = geometry.height + 2 * margin
+    # Wide world so the pan never hits the border.
+    pan_speed = 2.0
+    ww = geometry.width + 2 * margin + int(pan_speed * frames) + 32
+    # Heterogeneous composition like the real clip: a smooth "sky" band
+    # over a heavily textured "site wall".  The wall is a 60/40
+    # noise/vertical-stripe mix: the stripes give the SAD surface
+    # secondary minima one period away, which is what traps the greedy
+    # predictive search once inter-frame displacement exceeds its
+    # refinement reach (the 10 fps regime of Figs. 5-6).  The wide
+    # Intra_SAD spread (near-zero sky to ~9000 wall) is what makes the
+    # ACBM acceptance threshold alpha + beta*Qp^2 bisect the block
+    # population differently at each Qp, reproducing Table 1's rows.
+    wall = noise_texture(wh, ww, seed=seed + 14, cell=16, octaves=6, amplitude=140.0, base=125.0, persistence=0.85)
+    wall = 0.65 * wall + 0.35 * stripe_field(wh, ww, period=10, low=45.0, high=205.0, axis=1)
+    sky_depth = int(wh * 0.36)
+    sky = gradient_field(sky_depth, ww, low=165.0, high=135.0, axis=0)
+    sky += noise_texture(sky_depth, ww, seed=seed + 16, cell=64, octaves=1, amplitude=7.0, base=0.0)
+    background = wall
+    background[:sky_depth] = sky
+    head_h, head_w = int(geometry.height * 0.58), int(geometry.width * 0.40)
+    # The face tracks the camera so it stays in shot during the pan.
+    camera = _panned_shake_path(
+        frames,
+        offset_y=float(margin),
+        offset_x=float(margin),
+        velocity_x=pan_speed,
+        reverse_at=max(2, frames // 2),
+        jitter_sigma=0.0,
+        seed=seed + 43,
+    )
+
+    def face_path(i: int) -> tuple[float, float]:
+        pose = camera[min(i, len(camera) - 1)]
+        sway = sway_path((0.0, 0.0), (1.6, 2.2), 18.0)(i)
+        return (
+            pose.offset_y + geometry.height * 0.16 + sway[0],
+            pose.offset_x + geometry.width * 0.28 + sway[1],
+        )
+
+    face = Sprite(
+        texture=noise_texture(head_h, head_w, seed=seed + 33, cell=8, octaves=4, amplitude=70.0, base=150.0, persistence=0.7),
+        mask=ellipse_mask(head_h, head_w, softness=2.0),
+        trajectory=face_path,
+        chroma=(-8.0, 12.0),
+    )
+    return SceneSpec(
+        name="foreman",
+        geometry=geometry,
+        frames=frames,
+        margin=margin,
+        background=background,
+        camera=camera,
+        sprites=[face],
+        sensor_noise_sigma=1.3,
+        shimmer_sigma=7.5,
+        chroma_gain=(-0.14, 0.12),
+        seed=seed,
+    )
+
+
+def _table_spec(frames: int, seed: int, geometry: FrameGeometry) -> SceneSpec:
+    """Table-tennis analog: fast bouncing ball, swinging paddle, slow
+    camera zoom — abrupt local motion over a moderately textured hall."""
+    margin = 56
+    wh, ww = geometry.height + 2 * margin, geometry.width + 2 * margin
+    background = noise_texture(wh, ww, seed=seed + 15, cell=20, octaves=4, amplitude=85.0, base=112.0, persistence=0.65)
+    # "Crowd" band across the upper third: the high-texture population
+    # that keeps some blocks critical even at coarse Qp (Table 1's
+    # non-zero qp30 column for Table).
+    crowd_depth = int(wh * 0.30)
+    background[:crowd_depth] = noise_texture(
+        crowd_depth, ww, seed=seed + 17, cell=10, octaves=5, amplitude=150.0, base=120.0, persistence=0.85
+    )
+    table_h, table_w = int(geometry.height * 0.42), int(geometry.width * 0.92)
+    table_tex = stripe_field(table_h, table_w, period=8, low=30.0, high=180.0, axis=1)
+    table = Sprite(
+        texture=table_tex,
+        mask=rect_mask(table_h, table_w, softness=2.0),
+        trajectory=linear_path(
+            (margin + geometry.height * 0.55, margin + geometry.width * 0.04), (0.0, 0.0)
+        ),
+        chroma=(14.0, -10.0),
+    )
+    ball = Sprite(
+        texture=np.full((11, 11), 235.0),
+        mask=disc_mask(11, softness=1.5),
+        trajectory=bounce_path(
+            start=(margin + geometry.height * 0.30, margin + geometry.width * 0.2),
+            velocity=(3.8, 5.6),
+            bounds=(
+                margin + geometry.height * 0.10,
+                margin + geometry.height * 0.52,
+                margin + geometry.width * 0.08,
+                margin + geometry.width * 0.86,
+            ),
+        ),
+    )
+    paddle = Sprite(
+        texture=noise_texture(30, 16, seed=seed + 34, cell=8, octaves=2, amplitude=20.0, base=70.0),
+        mask=rect_mask(30, 16, softness=1.5),
+        trajectory=sway_path(
+            (margin + geometry.height * 0.40, margin + geometry.width * 0.82),
+            amplitude=(7.0, 9.0),
+            period=13.0,
+        ),
+        chroma=(6.0, 16.0),
+    )
+    return SceneSpec(
+        name="table",
+        geometry=geometry,
+        frames=frames,
+        margin=margin,
+        background=background,
+        camera=CameraPath.zoom(frames, margin, margin, start_zoom=1.0, zoom_per_frame=0.0012),
+        sprites=[table, ball, paddle],
+        sensor_noise_sigma=1.0,
+        shimmer_sigma=7.5,
+        chroma_gain=(-0.11, 0.12),
+        seed=seed,
+    )
+
+
+_PRESETS: dict[str, Callable[[int, int, FrameGeometry], SceneSpec]] = {
+    "miss_america": _miss_america_spec,
+    "carphone": _carphone_spec,
+    "foreman": _foreman_spec,
+    "table": _table_spec,
+}
+
+
+def available_sequences() -> TypingSequence[str]:
+    """Names accepted by :func:`make_sequence`, in the paper's order of
+    increasing expected search cost (see Table 1)."""
+    return ("miss_america", "table", "carphone", "foreman")
+
+
+def make_scene_spec(
+    name: str, frames: int = 30, seed: int = 0, geometry: FrameGeometry = QCIF
+) -> SceneSpec:
+    """Build the :class:`SceneSpec` for a preset without rendering it."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sequence {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+    if frames < 1:
+        raise ValueError(f"frames must be >= 1, got {frames}")
+    return factory(frames, seed, geometry)
+
+
+def make_sequence(
+    name: str, frames: int = 30, seed: int = 0, geometry: FrameGeometry = QCIF
+) -> Sequence:
+    """Render a named synthetic analog at 30 fps.
+
+    Use :meth:`repro.video.sequence.Sequence.subsample` for the 15 and
+    10 fps variants, mirroring how the paper derives its low-rate
+    clips.
+
+    >>> seq = make_sequence("foreman", frames=12)
+    >>> len(seq), seq.fps
+    (12, 30.0)
+    """
+    return render_scene(make_scene_spec(name, frames=frames, seed=seed, geometry=geometry))

@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Everything here is deterministic: fixed seeds, tiny geometries (64x48
+is the smallest legal multiple-of-16 frame with a non-square MB grid)
+so the whole suite stays fast while exercising real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video.frame import Frame, FrameGeometry
+from repro.video.sequence import Sequence
+
+#: Small but non-trivial geometry: 4x3 macroblocks.
+SMALL = FrameGeometry(64, 48)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_geometry() -> FrameGeometry:
+    return SMALL
+
+
+def textured_plane(height: int, width: int, seed: int = 7, amplitude: float = 60.0) -> np.ndarray:
+    """A reproducible textured uint8 plane (not a fixture so tests can
+    parameterize it)."""
+    gen = np.random.default_rng(seed)
+    coarse = gen.random((height // 8 + 2, width // 8 + 2))
+    ys = np.linspace(0, coarse.shape[0] - 1.001, height)
+    xs = np.linspace(0, coarse.shape[1] - 1.001, width)
+    y0 = ys.astype(int)
+    x0 = xs.astype(int)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    plane = (
+        coarse[np.ix_(y0, x0)] * (1 - fy) * (1 - fx)
+        + coarse[np.ix_(y0, x0 + 1)] * (1 - fy) * fx
+        + coarse[np.ix_(y0 + 1, x0)] * fy * (1 - fx)
+        + coarse[np.ix_(y0 + 1, x0 + 1)] * fy * fx
+    )
+    fine = gen.random((height, width))
+    out = 128.0 + amplitude * (plane - 0.5) * 2.0 + 10.0 * (fine - 0.5)
+    return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+
+def shifted_plane(plane: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Integer shift with edge replication.
+
+    ``out(y, x) = plane(y - dy, x - dx)``: content moves by (+dy, +dx).
+    A block of the shifted plane therefore matches ``plane`` at
+    displacement (-dx, -dy), i.e. the true motion vector (searching the
+    shifted plane against ``plane`` as reference) is
+    ``MotionVector(-2*dx, -2*dy)`` in half-pel units."""
+    h, w = plane.shape
+    ys = np.clip(np.arange(h) - dy, 0, h - 1)
+    xs = np.clip(np.arange(w) - dx, 0, w - 1)
+    return plane[np.ix_(ys, xs)]
+
+
+@pytest.fixture
+def textured() -> np.ndarray:
+    return textured_plane(48, 64)
+
+
+@pytest.fixture
+def small_frame(textured) -> Frame:
+    return Frame(textured)
+
+
+@pytest.fixture
+def small_sequence(textured) -> Sequence:
+    frames = [Frame(shifted_plane(textured, 0, i), index=i) for i in range(4)]
+    return Sequence(frames, fps=30.0, name="unit")

@@ -1,0 +1,84 @@
+"""Unit tests for repro.codec.bitstream."""
+
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_bit_count_tracks_writes(self):
+        w = BitWriter()
+        w.write_bit(1)
+        w.write_bits(0b101, 3)
+        assert w.bit_count == 4
+
+    def test_msb_first_packing(self):
+        w = BitWriter()
+        w.write_bits(0b10110000, 8)
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_padding_to_byte(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+        assert w.bit_count == 3  # padding not counted
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_zero_count_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_count == 0
+
+    def test_write_code_tuple(self):
+        w = BitWriter()
+        w.write_code((0b11, 2))
+        assert w.bit_count == 2
+        assert w.getvalue() == bytes([0b11000000])
+
+
+class TestBitReader:
+    def test_reads_back_writer_output(self):
+        w = BitWriter()
+        w.write_bits(0xABC, 12)
+        w.write_bits(5, 3)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(12) == 0xABC
+        assert r.read_bits(3) == 5
+
+    def test_bits_consumed(self):
+        r = BitReader(bytes([0xFF]))
+        r.read_bits(3)
+        assert r.bits_consumed == 3
+        assert r.bits_remaining == 5
+
+    def test_eof(self):
+        r = BitReader(bytes([0xFF]))
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read_bits(-1)
+
+
+class TestRoundTrip:
+    def test_many_values(self):
+        values = [(i * 37) % (1 << (i % 16 + 1)) for i in range(200)]
+        w = BitWriter()
+        for i, v in enumerate(values):
+            w.write_bits(v, i % 16 + 1)
+        r = BitReader(w.getvalue())
+        for i, v in enumerate(values):
+            assert r.read_bits(i % 16 + 1) == v

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.classifier — the two ACBM conditions."""
+
+import pytest
+
+from repro.core.classifier import BlockDecision, classify_block
+from repro.core.parameters import ACBMParameters
+
+PAPER = ACBMParameters.paper_defaults()
+
+
+class TestCondition1:
+    """Intra_SAD + SAD_PBM < α + β·Qp²."""
+
+    def test_smooth_block_accepted(self):
+        assert classify_block(100.0, 50, 16, PAPER) is BlockDecision.LOW_COST
+
+    def test_boundary_is_strict(self):
+        threshold = PAPER.threshold(16)  # 3048
+        assert classify_block(threshold - 1, 0, 16, PAPER) is BlockDecision.LOW_COST
+        # Exactly at the threshold: condition 1 fails (strict <), and
+        # with SAD_PBM = 0 < γ·Intra, condition 2 rescues it.
+        assert classify_block(threshold, 0, 16, PAPER) is BlockDecision.GOOD_PREDICTION
+
+    def test_qp_widens_acceptance(self):
+        """The same block can be critical at fine Qp and accepted at
+        coarse Qp — the mechanism behind Table 1's Qp rows."""
+        intra, sad_pbm = 4000.0, 2000
+        assert classify_block(intra, sad_pbm, 16, PAPER) is BlockDecision.CRITICAL
+        assert classify_block(intra, sad_pbm, 30, PAPER) is BlockDecision.LOW_COST
+
+
+class TestCondition2:
+    """SAD_PBM < γ·Intra_SAD."""
+
+    def test_textured_block_with_good_prediction_accepted(self):
+        # Condition 1 fails (10000 + 2000 > threshold at qp 16).
+        assert classify_block(10000.0, 2000, 16, PAPER) is BlockDecision.GOOD_PREDICTION
+
+    def test_textured_block_with_bad_prediction_critical(self):
+        assert classify_block(10000.0, 4000, 16, PAPER) is BlockDecision.CRITICAL
+
+    def test_gamma_boundary_is_strict(self):
+        intra = 10000.0
+        assert classify_block(intra, 2499, 16, PAPER) is BlockDecision.GOOD_PREDICTION
+        assert classify_block(intra, 2500, 16, PAPER) is BlockDecision.CRITICAL
+
+    def test_gamma_zero_disables_condition(self):
+        params = PAPER.with_(gamma=0.0)
+        assert classify_block(10000.0, 1, 16, params) is BlockDecision.CRITICAL
+
+
+class TestDegenerateConfigs:
+    def test_always_full_search(self):
+        params = ACBMParameters.always_full_search()
+        for intra, sad_pbm in [(0.0, 0), (100.0, 5), (9999.0, 1)]:
+            got = classify_block(intra, sad_pbm, 16, params)
+            # SAD_PBM = 0 < threshold 0 is false; γ = 0 kills cond 2.
+            assert got is BlockDecision.CRITICAL
+
+    def test_never_full_search(self):
+        params = ACBMParameters.never_full_search()
+        assert classify_block(1e9, 10**7, 16, params) is BlockDecision.LOW_COST
+
+
+class TestValidation:
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            classify_block(-1.0, 0, 16, PAPER)
+        with pytest.raises(ValueError):
+            classify_block(0.0, -1, 16, PAPER)
+
+    def test_decision_accepts_pbm_property(self):
+        assert BlockDecision.LOW_COST.accepts_pbm
+        assert BlockDecision.GOOD_PREDICTION.accepts_pbm
+        assert not BlockDecision.CRITICAL.accepts_pbm
+
+    def test_string_values_stable(self):
+        """These strings are persisted in SearchStats.decisions."""
+        assert BlockDecision.LOW_COST.value == "low_cost"
+        assert BlockDecision.GOOD_PREDICTION.value == "good_prediction"
+        assert BlockDecision.CRITICAL.value == "critical"

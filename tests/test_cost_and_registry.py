@@ -1,0 +1,69 @@
+"""Unit tests for repro.me.cost and the estimator registry."""
+
+import pytest
+
+from repro.me.cost import LAMBDA_SCALE, lagrange_lambda, motion_cost
+from repro.me.estimator import available_estimators, create_estimator
+from repro.me.types import MotionVector
+
+
+class TestLagrange:
+    def test_lambda_linear_in_qp_for_sad_domain(self):
+        assert lagrange_lambda(10) == pytest.approx(LAMBDA_SCALE * 10)
+
+    def test_qp_range_enforced(self):
+        with pytest.raises(ValueError):
+            lagrange_lambda(0)
+        with pytest.raises(ValueError):
+            lagrange_lambda(32)
+
+    def test_motion_cost_formula(self):
+        bits_fn = lambda d: abs(d.hx) + abs(d.hy) + 2  # toy bit model
+        j = motion_cost(100, MotionVector(2, 0), MotionVector(0, 0), qp=10, bits_fn=bits_fn)
+        assert j == pytest.approx(100 + LAMBDA_SCALE * 10 * 4)
+
+    def test_motion_cost_rejects_negative_sad(self):
+        with pytest.raises(ValueError):
+            motion_cost(-1, MotionVector.zero(), MotionVector.zero(), 10, lambda d: 0)
+
+    def test_cheaper_vector_wins_at_high_qp(self):
+        """The Lagrangian trade-off: at coarse Qp, a slightly worse SAD
+        with a much cheaper MVD gives lower J — the PBM advantage the
+        paper describes."""
+        bits = lambda d: abs(d.hx) + abs(d.hy) + 1
+        pred = MotionVector.zero()
+        smooth = motion_cost(520, MotionVector(0, 0), pred, 30, bits)
+        jagged = motion_cost(500, MotionVector(20, -14), pred, 30, bits)
+        assert smooth < jagged
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = available_estimators()
+        assert set(names) >= {"acbm", "fsbm", "pbm", "tss", "fss", "ds", "cds"}
+
+    def test_create_by_name(self):
+        est = create_estimator("fsbm", p=7)
+        assert est.name == "fsbm"
+        assert est.p == 7
+
+    def test_create_unknown_raises_with_choices(self):
+        with pytest.raises(ValueError, match="acbm"):
+            create_estimator("epzs")
+
+    def test_extended_baselines_registered(self):
+        assert "ntss" in available_estimators()
+        assert "hexbs" in available_estimators()
+
+    def test_kwargs_forwarded(self):
+        est = create_estimator("pbm", refine_steps=5)
+        assert est.refine_steps == 5
+
+    def test_duplicate_registration_rejected(self):
+        from repro.me.estimator import register_estimator
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_estimator("fsbm")
+            class Dup:  # pragma: no cover - never instantiated
+                pass

@@ -1,0 +1,67 @@
+"""Unit tests for repro.codec.dct."""
+
+import numpy as np
+import pytest
+
+from repro.codec.dct import dct_matrix, forward_dct, inverse_dct
+
+
+class TestDctMatrix:
+    def test_orthonormal(self):
+        c = dct_matrix()
+        np.testing.assert_allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_constant(self):
+        c = dct_matrix()
+        np.testing.assert_allclose(c[0], np.full(8, np.sqrt(1 / 8)))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestForwardInverse:
+    def test_round_trip_identity(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(0, 50, (10, 8, 8))
+        np.testing.assert_allclose(inverse_dct(forward_dct(blocks)), blocks, atol=1e-9)
+
+    def test_constant_block_concentrates_in_dc(self):
+        block = np.full((8, 8), 100.0)
+        coefficients = forward_dct(block)
+        assert coefficients[0, 0] == pytest.approx(800.0)  # 8 * mean
+        assert np.abs(coefficients).sum() == pytest.approx(800.0)
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(1)
+        block = rng.normal(0, 30, (8, 8))
+        coefficients = forward_dct(block)
+        assert (coefficients**2).sum() == pytest.approx((block**2).sum())
+
+    def test_horizontal_cosine_maps_to_single_coefficient(self):
+        i = np.arange(8)
+        basis = np.cos((2 * i + 1) * 3 * np.pi / 16)  # k = 3
+        block = np.tile(basis, (8, 1))
+        coefficients = forward_dct(block)
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 3] = True
+        assert np.abs(coefficients[~mask]).max() < 1e-12
+        assert abs(coefficients[0, 3]) > 1.0
+
+    def test_batched_shapes(self):
+        blocks = np.zeros((3, 5, 8, 8))
+        assert forward_dct(blocks).shape == (3, 5, 8, 8)
+
+    def test_wrong_tail_shape_rejected(self):
+        with pytest.raises(ValueError):
+            forward_dct(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            inverse_dct(np.zeros((8, 7)))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        np.testing.assert_allclose(
+            forward_dct(a + 2 * b), forward_dct(a) + 2 * forward_dct(b), atol=1e-12
+        )

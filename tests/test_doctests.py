@@ -1,0 +1,36 @@
+"""Run the doctests embedded in the public API's docstrings.
+
+Keeps every usage example shown in module/class docstrings executable
+— documentation that cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.codec.decoder
+import repro.codec.encoder
+import repro.core.acbm
+import repro.core.classifier
+import repro.core.parameters
+import repro.me.estimator
+import repro.video.synthesis.sequences
+
+MODULES = [
+    repro,
+    repro.codec.decoder,
+    repro.codec.encoder,
+    repro.core.acbm,
+    repro.core.classifier,
+    repro.core.parameters,
+    repro.me.estimator,
+    repro.video.synthesis.sequences,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Executed as subprocesses (the way users run them) with reduced
+workloads so the suite stays fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart(tmp_path):
+    proc = run_example("quickstart.py", "--frames", "3", "--qp", "24")
+    assert proc.returncode == 0, proc.stderr
+    assert "positions/MB" in proc.stdout
+    for estimator in ("pbm", "acbm", "fsbm"):
+        assert estimator in proc.stdout
+
+
+def test_quality_cost_tradeoff():
+    proc = run_example("quality_cost_tradeoff.py", "--frames", "3", "--qp", "24")
+    assert proc.returncode == 0, proc.stderr
+    assert "gamma sweep" in proc.stdout
+    assert "pure-FSBM limit" in proc.stdout
+
+
+def test_characterization(tmp_path):
+    csv_path = tmp_path / "fig4.csv"
+    proc = run_example("characterization.py", "--csv", str(csv_path))
+    assert proc.returncode == 0, proc.stderr
+    assert "true-vector fraction" in proc.stdout
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("frame_pair,")
+
+
+def test_custom_sequence(tmp_path):
+    proc = run_example(
+        "custom_sequence.py", "--outdir", str(tmp_path), "--frames", "4", "--qp", "20"
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-exact: True" in proc.stdout
+    assert (tmp_path / "custom_source.yuv").exists()
+    assert (tmp_path / "custom_recon.yuv").exists()

@@ -1,0 +1,99 @@
+"""Unit tests for repro.video.filters."""
+
+import numpy as np
+import pytest
+
+from repro.video.filters import (
+    binomial_kernel,
+    box_kernel,
+    convolve_cols,
+    convolve_rows,
+    downsample2,
+    gradient_magnitude,
+    smooth,
+)
+
+
+class TestKernels:
+    def test_box_normalized(self):
+        k = box_kernel(3)
+        assert len(k) == 7
+        assert k.sum() == pytest.approx(1.0)
+        assert (k == k[0]).all()
+
+    def test_binomial_normalized(self):
+        k = binomial_kernel(2)
+        assert len(k) == 5
+        assert k.sum() == pytest.approx(1.0)
+        # Binomial(4): 1 4 6 4 1 / 16
+        np.testing.assert_allclose(k, np.array([1, 4, 6, 4, 1]) / 16.0)
+
+    def test_radius_zero_is_identity(self):
+        assert box_kernel(0).tolist() == [1.0]
+        assert binomial_kernel(0).tolist() == [1.0]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            box_kernel(-1)
+        with pytest.raises(ValueError):
+            binomial_kernel(-1)
+
+
+class TestConvolve:
+    def test_constant_plane_unchanged(self):
+        plane = np.full((8, 10), 42.0)
+        out = smooth(plane, radius=2)
+        np.testing.assert_allclose(out, plane)
+
+    def test_shape_preserved(self):
+        plane = np.random.default_rng(0).random((13, 17))
+        assert smooth(plane, radius=3).shape == (13, 17)
+
+    def test_rows_vs_cols_transpose_symmetry(self):
+        plane = np.random.default_rng(1).random((6, 9))
+        k = binomial_kernel(1)
+        np.testing.assert_allclose(
+            convolve_cols(plane, k), convolve_rows(plane.T, k).T
+        )
+
+    def test_smoothing_reduces_variance(self):
+        plane = np.random.default_rng(2).random((32, 32)) * 100
+        out = smooth(plane, radius=2)
+        assert out.var() < plane.var()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            smooth(np.zeros((4, 4)), radius=1, kernel="sinc")
+
+    def test_box_kernel_option(self):
+        plane = np.random.default_rng(3).random((8, 8))
+        out = smooth(plane, radius=1, kernel="box")
+        assert out.shape == plane.shape
+
+
+class TestGradient:
+    def test_flat_has_zero_gradient(self):
+        assert gradient_magnitude(np.full((5, 5), 9.0)).max() == 0.0
+
+    def test_step_edge(self):
+        plane = np.zeros((4, 6))
+        plane[:, 3:] = 10.0
+        g = gradient_magnitude(plane)
+        assert g[:, 3].max() == pytest.approx(10.0)
+        assert g[:, 1].max() == 0.0
+
+    def test_shape_preserved(self):
+        assert gradient_magnitude(np.zeros((7, 9))).shape == (7, 9)
+
+
+class TestDownsample:
+    def test_means_of_quads(self):
+        plane = np.array([[1.0, 3.0], [5.0, 7.0]])
+        np.testing.assert_allclose(downsample2(plane), [[4.0]])
+
+    def test_shape_halved(self):
+        assert downsample2(np.zeros((10, 8))).shape == (5, 4)
+
+    def test_odd_shape_rejected(self):
+        with pytest.raises(ValueError):
+            downsample2(np.zeros((5, 4)))

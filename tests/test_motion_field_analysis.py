@@ -1,0 +1,85 @@
+"""Unit tests for repro.analysis.motion_field."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.motion_field import (
+    error_map,
+    field_entropy_bits,
+    field_smoothness,
+    mean_vector,
+)
+from repro.me.types import MotionField, MotionVector
+
+
+def uniform_field(rows, cols, hx, hy):
+    field = MotionField(rows, cols)
+    for r, c, _ in field:
+        field.set(r, c, MotionVector(hx, hy))
+    return field
+
+
+class TestSmoothness:
+    def test_uniform_field_is_perfectly_smooth(self):
+        assert field_smoothness(uniform_field(3, 4, 6, -2)) == 0.0
+
+    def test_single_cell_field(self):
+        assert field_smoothness(uniform_field(1, 1, 4, 4)) == 0.0
+
+    def test_checkerboard_is_rough(self):
+        field = MotionField(2, 2)
+        for r, c, _ in field:
+            field.set(r, c, MotionVector(10 if (r + c) % 2 else -10, 0))
+        assert field_smoothness(field) == pytest.approx(20.0)
+
+    def test_ramp_field(self):
+        field = MotionField(1, 4)
+        for c in range(4):
+            field.set(0, c, MotionVector(2 * c, 0))
+        assert field_smoothness(field) == pytest.approx(2.0)
+
+
+class TestEntropy:
+    def test_uniform_field_near_zero_entropy(self):
+        """Only the first block (zero predictor) emits a non-zero MVD,
+        so entropy is small but not exactly zero."""
+        assert field_entropy_bits(uniform_field(4, 4, 8, 8)) < 0.4
+        assert field_entropy_bits(MotionField.zeros(4, 4)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_field_high_entropy(self):
+        rng = np.random.default_rng(0)
+        field = MotionField(4, 6)
+        for r, c, _ in field:
+            field.set(r, c, MotionVector(int(rng.integers(-15, 16)), int(rng.integers(-15, 16))))
+        assert field_entropy_bits(field) > 3.0
+
+    def test_incomplete_field_rejected(self):
+        with pytest.raises(ValueError):
+            field_entropy_bits(MotionField(2, 2))
+
+
+class TestErrorMap:
+    def test_exact_field_all_zero(self):
+        field = uniform_field(3, 3, 6, -4)
+        errors = error_map(field, MotionVector(6, -4))
+        assert (errors == 0).all()
+
+    def test_chebyshev_in_pixels(self):
+        field = uniform_field(1, 1, 6, 0)
+        assert error_map(field, MotionVector(0, 0))[0, 0] == 3
+        assert error_map(field, MotionVector(4, 0))[0, 0] == 1
+
+    def test_half_pel_error_truncates_to_zero(self):
+        field = uniform_field(1, 1, 1, 0)  # off by 0.5 px
+        assert error_map(field, MotionVector(0, 0))[0, 0] == 0
+
+
+class TestMeanVector:
+    def test_uniform(self):
+        assert mean_vector(uniform_field(2, 2, 6, -4)) == (3.0, -2.0)
+
+    def test_mixed(self):
+        field = MotionField(1, 2)
+        field.set(0, 0, MotionVector(0, 0))
+        field.set(0, 1, MotionVector(4, 8))
+        assert mean_vector(field) == (1.0, 2.0)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.video.synthesis.motion_models."""
+
+import numpy as np
+import pytest
+
+from repro.video.synthesis.motion_models import (
+    CameraPath,
+    CameraPose,
+    crop_window,
+    sample_bilinear,
+    translate,
+)
+
+
+class TestSampleBilinear:
+    def test_integer_coordinates_exact(self):
+        plane = np.arange(20.0).reshape(4, 5)
+        ys = np.array([[1.0]])
+        xs = np.array([[3.0]])
+        assert sample_bilinear(plane, ys, xs)[0, 0] == plane[1, 3]
+
+    def test_midpoint_average(self):
+        plane = np.array([[0.0, 10.0]])
+        out = sample_bilinear(plane, np.array([[0.0]]), np.array([[0.5]]))
+        assert out[0, 0] == pytest.approx(5.0)
+
+    def test_clamps_outside(self):
+        plane = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = sample_bilinear(plane, np.array([[-5.0]]), np.array([[99.0]]))
+        assert out[0, 0] == pytest.approx(2.0)
+
+
+class TestTranslate:
+    def test_integer_shift_moves_content(self):
+        plane = np.zeros((6, 6))
+        plane[2, 2] = 9.0
+        out = translate(plane, 1.0, 2.0)
+        assert out[3, 4] == pytest.approx(9.0)
+
+    def test_zero_shift_identity(self):
+        plane = np.random.default_rng(0).random((5, 7))
+        np.testing.assert_allclose(translate(plane, 0.0, 0.0), plane)
+
+    def test_half_shift_averages(self):
+        plane = np.zeros((1, 4))
+        plane[0, 1] = 10.0
+        out = translate(plane, 0.0, 0.5)
+        assert out[0, 1] == pytest.approx(5.0)
+        assert out[0, 2] == pytest.approx(5.0)
+
+
+class TestCropWindow:
+    def test_no_zoom_is_slice(self):
+        world = np.arange(100.0).reshape(10, 10)
+        out = crop_window(world, 2.0, 3.0, 4, 5)
+        np.testing.assert_allclose(out, world[2:6, 3:8])
+
+    def test_fractional_offset_interpolates(self):
+        world = np.arange(100.0).reshape(10, 10)
+        out = crop_window(world, 0.5, 0.0, 2, 2)
+        np.testing.assert_allclose(out, (world[0:2, 0:2] + world[1:3, 0:2]) / 2.0)
+
+    def test_zoom_keeps_centre(self):
+        world = np.zeros((20, 20))
+        world[10, 10] = 100.0
+        flat = crop_window(world, 5.0, 5.0, 11, 11)
+        zoomed = crop_window(world, 5.0, 5.0, 11, 11, zoom=1.25)
+        # Centre pixel of the window maps to the same world point.
+        assert flat[5, 5] == zoomed[5, 5]
+
+    def test_zoom_magnifies(self):
+        rng = np.random.default_rng(4)
+        world = rng.random((64, 64)) * 100
+        flat = crop_window(world, 16.0, 16.0, 32, 32)
+        zoomed = crop_window(world, 16.0, 16.0, 32, 32, zoom=2.0)
+        # At zoom 2 the window spans half the world distance, so the
+        # sampled field varies more slowly.
+        assert np.abs(np.diff(zoomed, axis=1)).mean() < np.abs(np.diff(flat, axis=1)).mean()
+
+    def test_rejects_non_positive_zoom(self):
+        with pytest.raises(ValueError):
+            crop_window(np.zeros((4, 4)), 0, 0, 2, 2, zoom=0.0)
+
+
+class TestCameraPath:
+    def test_static(self):
+        path = CameraPath.static(5, 7.0, 9.0)
+        assert len(path) == 5
+        assert all(p == CameraPose(7.0, 9.0) for p in path.poses)
+
+    def test_pan_velocity(self):
+        path = CameraPath.pan(4, 0.0, 0.0, 1.0, 2.0)
+        assert path[3] == CameraPose(3.0, 6.0)
+
+    def test_pan_reversal(self):
+        path = CameraPath.pan(6, 0.0, 0.0, 0.0, 1.0, reverse_at=3)
+        xs = [p.offset_x for p in path.poses]
+        assert xs == [0.0, 1.0, 2.0, 3.0, 2.0, 1.0]
+
+    def test_shake_deterministic(self):
+        a = CameraPath.shake(10, 0, 0, sigma=0.5, seed=3)
+        b = CameraPath.shake(10, 0, 0, sigma=0.5, seed=3)
+        assert a.poses == b.poses
+
+    def test_shake_bounded(self):
+        path = CameraPath.shake(200, 10.0, 10.0, sigma=0.5, seed=1)
+        for pose in path.poses:
+            assert abs(pose.offset_y - 10.0) <= 1.5 + 1e-9
+            assert abs(pose.offset_x - 10.0) <= 1.5 + 1e-9
+
+    def test_shake_drift(self):
+        path = CameraPath.shake(5, 0.0, 0.0, sigma=0.0, seed=0, drift_x=2.0)
+        assert path[4].offset_x == pytest.approx(8.0)
+
+    def test_zoom_path(self):
+        path = CameraPath.zoom(3, 0, 0, start_zoom=1.0, zoom_per_frame=0.1)
+        assert [p.zoom for p in path.poses] == pytest.approx([1.0, 1.1, 1.2])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            CameraPath([])

@@ -1,0 +1,134 @@
+"""Unit tests for repro.codec.mv_coding (H.263 median prediction + MVD)."""
+
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.mv_coding import (
+    field_bits,
+    mvd_bits,
+    predict_mv,
+    read_mvd,
+    write_mvd,
+)
+from repro.me.types import MotionField, MotionVector
+
+
+def field_with(entries, rows=3, cols=4):
+    field = MotionField(rows, cols)
+    for (r, c), mv in entries.items():
+        field.set(r, c, mv)
+    return field
+
+
+class TestPredictMv:
+    def test_first_block_predicts_zero(self):
+        field = MotionField(3, 4)
+        assert predict_mv(field, 0, 0) == MotionVector.zero()
+
+    def test_top_row_uses_left(self):
+        field = field_with({(0, 0): MotionVector(6, 2)})
+        assert predict_mv(field, 0, 1) == MotionVector(6, 2)
+
+    def test_median_of_three(self):
+        field = field_with(
+            {
+                (1, 0): MotionVector(2, 0),    # left
+                (0, 1): MotionVector(4, 2),    # above
+                (0, 2): MotionVector(6, -2),   # above-right
+            }
+        )
+        assert predict_mv(field, 1, 1) == MotionVector(4, 0)
+
+    def test_missing_above_right_treated_as_zero(self):
+        field = field_with(
+            {
+                (1, 2): MotionVector(4, 4),   # left of (1,3)
+                (0, 3): MotionVector(4, 4),   # above (last column)
+            },
+        )
+        # above-right outside grid → zero; median(4, 4, 0) = 4.
+        assert predict_mv(field, 1, 3) == MotionVector(4, 4)
+
+    def test_left_missing_on_row_start(self):
+        field = field_with(
+            {
+                (0, 0): MotionVector(8, 0),
+                (0, 1): MotionVector(8, 0),
+            }
+        )
+        # left → zero; median(0, 8, 8) = 8.
+        assert predict_mv(field, 1, 0) == MotionVector(8, 0)
+
+    def test_component_wise_median(self):
+        field = field_with(
+            {
+                (1, 0): MotionVector(10, -4),
+                (0, 1): MotionVector(0, 0),
+                (0, 2): MotionVector(2, 8),
+            }
+        )
+        assert predict_mv(field, 1, 1) == MotionVector(2, 0)
+
+
+class TestMvdBits:
+    def test_zero_difference_costs_two_bits(self):
+        # One 1-bit exp-Golomb zero per component.
+        assert mvd_bits(MotionVector(4, -2), MotionVector(4, -2)) == 2
+
+    def test_cost_grows_with_difference(self):
+        pred = MotionVector.zero()
+        assert mvd_bits(MotionVector(1, 0), pred) < mvd_bits(MotionVector(20, 0), pred)
+
+    def test_write_matches_declared_bits(self):
+        writer = BitWriter()
+        mv, pred = MotionVector(-7, 9), MotionVector(1, -1)
+        written = write_mvd(writer, mv, pred)
+        assert written == mvd_bits(mv, pred) == writer.bit_count
+
+    def test_write_read_round_trip(self):
+        cases = [
+            (MotionVector(0, 0), MotionVector(0, 0)),
+            (MotionVector(31, -31), MotionVector.zero()),
+            (MotionVector(-5, 17), MotionVector(3, 3)),
+        ]
+        writer = BitWriter()
+        for mv, pred in cases:
+            write_mvd(writer, mv, pred)
+        reader = BitReader(writer.getvalue())
+        for mv, pred in cases:
+            assert read_mvd(reader, pred) == mv
+
+
+class TestFieldBits:
+    def test_uniform_field_is_cheap(self):
+        uniform = MotionField(4, 6)
+        for r, c, _ in uniform:
+            uniform.set(r, c, MotionVector(8, -4))
+        jagged = MotionField(4, 6)
+        import random
+
+        rnd = random.Random(3)
+        for r, c, _ in jagged:
+            jagged.set(r, c, MotionVector(rnd.randint(-15, 15) * 2, rnd.randint(-15, 15) * 2))
+        assert field_bits(uniform) < field_bits(jagged)
+
+    def test_zero_field_minimum_cost(self):
+        field = MotionField.zeros(4, 6)
+        assert field_bits(field) == 2 * 24  # 1 bit per component per MB
+
+    def test_incomplete_field_rejected(self):
+        with pytest.raises(ValueError):
+            field_bits(MotionField(2, 2))
+
+    def test_smooth_fields_beat_incoherent_ones(self):
+        """The paper's R(mv) argument: predictive (smooth) fields cost
+        fewer bits than full-search (incoherent) fields."""
+        smooth = MotionField(3, 4)
+        for r, c, _ in smooth:
+            smooth.set(r, c, MotionVector(2 * c // 2, 0))  # slowly varying
+        noisy = MotionField(3, 4)
+        values = [(-20, 14), (8, -30), (0, 0), (22, 2), (-6, -8), (30, 30),
+                  (-30, 4), (2, -22), (16, 16), (-12, 28), (6, -2), (26, -18)]
+        for (r, c, _), (hx, hy) in zip(noisy, values):
+            noisy.set(r, c, MotionVector(hx, hy))
+        assert field_bits(smooth) < field_bits(noisy)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.video.synthesis.noise."""
+
+import numpy as np
+import pytest
+
+from repro.video.synthesis.noise import value_noise, white_noise
+
+
+class TestValueNoise:
+    def test_range_is_unit_interval(self):
+        field = value_noise(40, 60, cell=8, octaves=3, seed=1)
+        assert field.min() == pytest.approx(0.0)
+        assert field.max() == pytest.approx(1.0)
+
+    def test_deterministic_in_seed(self):
+        a = value_noise(32, 32, cell=8, seed=42)
+        b = value_noise(32, 32, cell=8, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = value_noise(32, 32, cell=8, seed=1)
+        b = value_noise(32, 32, cell=8, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_shape(self):
+        assert value_noise(24, 56, cell=16, seed=0).shape == (24, 56)
+
+    def test_more_octaves_adds_high_frequency(self):
+        """Fine octaves raise mean local gradient."""
+        smooth_field = value_noise(64, 64, cell=32, octaves=1, seed=3)
+        rough_field = value_noise(64, 64, cell=32, octaves=5, seed=3)
+
+        def mean_grad(f):
+            return np.abs(np.diff(f, axis=1)).mean()
+
+        assert mean_grad(rough_field) > 1.3 * mean_grad(smooth_field)
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="exactly one"):
+            value_noise(8, 8, cell=4, rng=gen, seed=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            value_noise(8, 8, cell=4)
+
+    def test_accepts_rng_object(self):
+        gen = np.random.default_rng(0)
+        field = value_noise(8, 8, cell=4, rng=gen)
+        assert field.shape == (8, 8)
+
+    @pytest.mark.parametrize("kwargs", [dict(cell=0), dict(octaves=0)])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            value_noise(8, 8, seed=0, **{"cell": 4, **kwargs})
+
+
+class TestWhiteNoise:
+    def test_zero_sigma_is_zero(self):
+        gen = np.random.default_rng(0)
+        assert white_noise(4, 4, 0.0, gen).max() == 0.0
+
+    def test_statistics(self):
+        gen = np.random.default_rng(0)
+        field = white_noise(200, 200, 2.0, gen)
+        assert abs(field.mean()) < 0.1
+        assert field.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            white_noise(4, 4, -1.0, np.random.default_rng(0))

@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.parameters."""
+
+import pytest
+
+from repro.core.parameters import ACBMParameters
+
+
+class TestACBMParameters:
+    def test_paper_defaults(self):
+        p = ACBMParameters.paper_defaults()
+        assert (p.alpha, p.beta, p.gamma) == (1000.0, 8.0, 0.25)
+
+    def test_default_constructor_matches_paper(self):
+        assert ACBMParameters() == ACBMParameters.paper_defaults()
+
+    def test_threshold_formula(self):
+        p = ACBMParameters(alpha=1000, beta=8, gamma=0.25)
+        # α + β·Qp² at the paper's Qp extremes.
+        assert p.threshold(16) == 1000 + 8 * 256
+        assert p.threshold(30) == 1000 + 8 * 900
+
+    def test_threshold_grows_with_qp(self):
+        p = ACBMParameters.paper_defaults()
+        values = [p.threshold(qp) for qp in range(1, 32)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_threshold_qp_range(self):
+        p = ACBMParameters.paper_defaults()
+        with pytest.raises(ValueError):
+            p.threshold(0)
+        with pytest.raises(ValueError):
+            p.threshold(32)
+
+    @pytest.mark.parametrize("kwargs", [dict(alpha=-1), dict(beta=-0.1), dict(gamma=-1)])
+    def test_negative_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ACBMParameters(**kwargs)
+
+    def test_always_full_search_threshold_zero(self):
+        p = ACBMParameters.always_full_search()
+        assert p.threshold(30) == 0.0
+        assert p.gamma == 0.0
+
+    def test_never_full_search_threshold_infinite(self):
+        p = ACBMParameters.never_full_search()
+        assert p.threshold(1) == float("inf")
+
+    def test_with_updates_single_field(self):
+        p = ACBMParameters.paper_defaults().with_(gamma=0.5)
+        assert p.gamma == 0.5
+        assert p.alpha == 1000.0
+
+    def test_with_rejects_unknown(self):
+        with pytest.raises(TypeError, match="unknown"):
+            ACBMParameters.paper_defaults().with_(delta=1.0)
+
+    def test_frozen(self):
+        p = ACBMParameters.paper_defaults()
+        with pytest.raises(AttributeError):
+            p.alpha = 5.0

@@ -1,0 +1,116 @@
+"""Unit tests for repro.codec.quantizer (H.263 rules)."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quantizer import (
+    INTRA_DC_STEP,
+    LEVEL_MAX,
+    check_qp,
+    dequantize,
+    dequantize_intra_dc,
+    quantize_inter,
+    quantize_intra_ac,
+    quantize_intra_dc,
+)
+
+
+class TestCheckQp:
+    @pytest.mark.parametrize("qp", [0, 32, -3])
+    def test_rejects_out_of_range(self, qp):
+        with pytest.raises(ValueError):
+            check_qp(qp)
+
+    @pytest.mark.parametrize("qp", [1, 16, 31])
+    def test_accepts_valid(self, qp):
+        assert check_qp(qp) == qp
+
+
+class TestInterQuantizer:
+    def test_dead_zone_swallows_small_coefficients(self):
+        qp = 10
+        coefficients = np.array([0.0, 4.9, -4.9, 14.9, 24.9])
+        levels = quantize_inter(coefficients, qp)
+        # |c| < qp/2 + 2qp = 25 maps to level 0 or ±1 per the formula:
+        # floor((|c| - 5) / 20): 4.9 → floor(-0.005) handled as 0 ...
+        np.testing.assert_array_equal(levels, [0, 0, 0, 0, 0])
+
+    def test_level_one_threshold(self):
+        qp = 10
+        assert quantize_inter(np.array([25.0]), qp)[0] == 1
+        assert quantize_inter(np.array([-25.0]), qp)[0] == -1
+        assert quantize_inter(np.array([24.99]), qp)[0] == 0
+
+    def test_sign_symmetry(self):
+        qp = 7
+        c = np.linspace(-400, 400, 101)
+        np.testing.assert_array_equal(quantize_inter(c, qp), -quantize_inter(-c, qp))
+
+    def test_level_clamped(self):
+        assert quantize_inter(np.array([1e9]), 1)[0] == LEVEL_MAX
+
+
+class TestIntraAcQuantizer:
+    def test_no_dead_zone(self):
+        qp = 10
+        assert quantize_intra_ac(np.array([20.0]), qp)[0] == 1
+        assert quantize_inter(np.array([20.0]), qp)[0] == 0  # contrast
+
+    def test_truncation(self):
+        assert quantize_intra_ac(np.array([39.9]), 10)[0] == 1
+        assert quantize_intra_ac(np.array([40.0]), 10)[0] == 2
+
+
+class TestDequantize:
+    @pytest.mark.parametrize("qp", [1, 5, 10, 16, 31])
+    def test_zero_stays_zero(self, qp):
+        assert dequantize(np.array([0]), qp)[0] == 0.0
+
+    def test_odd_qp_reconstruction(self):
+        # |rec| = qp * (2|level| + 1), qp odd
+        assert dequantize(np.array([2]), 5)[0] == 25.0
+        assert dequantize(np.array([-2]), 5)[0] == -25.0
+
+    def test_even_qp_reconstruction(self):
+        # |rec| = qp * (2|level| + 1) - 1, qp even
+        assert dequantize(np.array([2]), 10)[0] == 49.0
+        assert dequantize(np.array([-2]), 10)[0] == -49.0
+
+    def test_reconstruction_within_quantizer_cell(self):
+        """|rec(quant(c)) - c| <= 2*qp for coefficients above the dead
+        zone — the basic fidelity bound."""
+        qp = 8
+        c = np.linspace(-800, 800, 1601)
+        rec = dequantize(quantize_inter(c, qp), qp)
+        above = np.abs(c) >= 2.5 * qp
+        assert np.abs(rec[above] - c[above]).max() <= 2 * qp
+
+    def test_quantize_dequantize_idempotent(self):
+        """Requantizing a reconstruction reproduces the same levels —
+        no drift in the closed loop."""
+        qp = 6
+        c = np.linspace(-500, 500, 401)
+        levels = quantize_inter(c, qp)
+        again = quantize_inter(dequantize(levels, qp), qp)
+        np.testing.assert_array_equal(levels, again)
+
+
+class TestIntraDc:
+    def test_step_eight(self):
+        assert quantize_intra_dc(np.array([800.0]))[0] == 100
+        assert dequantize_intra_dc(np.array([100]))[0] == 800.0
+
+    def test_clamped_to_code_range(self):
+        assert quantize_intra_dc(np.array([0.0]))[0] == 1
+        assert quantize_intra_dc(np.array([1e6]))[0] == 254
+
+    def test_dequantize_range_checked(self):
+        with pytest.raises(ValueError):
+            dequantize_intra_dc(np.array([0]))
+        with pytest.raises(ValueError):
+            dequantize_intra_dc(np.array([255]))
+
+    def test_round_trip_error_bounded(self):
+        dc = np.linspace(8.0, 2000.0, 250)
+        rec = dequantize_intra_dc(quantize_intra_dc(dc))
+        assert np.abs(rec - dc).max() <= INTRA_DC_STEP / 2 + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for repro.analysis.rd."""
+
+import pytest
+
+from repro.analysis.rd import RDCurve, RDPoint
+
+
+def curve(label, points):
+    return RDCurve(label, [RDPoint(qp=q, rate_kbps=r, psnr_db=p) for q, r, p in points])
+
+
+class TestRDPoint:
+    def test_valid(self):
+        p = RDPoint(qp=16, rate_kbps=40.0, psnr_db=30.0)
+        assert p.qp == 16
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            RDPoint(qp=16, rate_kbps=0.0, psnr_db=30.0)
+
+    def test_rejects_non_finite_psnr(self):
+        with pytest.raises(ValueError):
+            RDPoint(qp=16, rate_kbps=10.0, psnr_db=float("inf"))
+
+
+class TestRDCurve:
+    def test_sorted_by_rate(self):
+        c = curve("x", [(16, 60.0, 31.0), (30, 20.0, 27.0), (22, 40.0, 29.0)])
+        assert [p.rate_kbps for p in c.points] == [20.0, 40.0, 60.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RDCurve("x", [])
+
+    def test_rate_range(self):
+        c = curve("x", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        assert c.rate_range == (20.0, 60.0)
+
+    def test_psnr_at_known_points(self):
+        c = curve("x", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        assert c.psnr_at_rate(20.0) == pytest.approx(27.0)
+        assert c.psnr_at_rate(60.0) == pytest.approx(31.0)
+
+    def test_psnr_interpolation_monotone(self):
+        c = curve("x", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        mid = c.psnr_at_rate(35.0)
+        assert 27.0 < mid < 31.0
+
+    def test_psnr_outside_span_rejected(self):
+        c = curve("x", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        with pytest.raises(ValueError):
+            c.psnr_at_rate(10.0)
+
+    def test_single_point_curve(self):
+        c = curve("x", [(20, 30.0, 28.0)])
+        assert c.psnr_at_rate(30.0) == 28.0
+
+
+class TestCurveComparison:
+    def test_dominating_curve_has_positive_gain(self):
+        better = curve("a", [(30, 20.0, 28.0), (16, 60.0, 32.0)])
+        worse = curve("b", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        gain = better.average_psnr_gain_over(worse)
+        assert gain == pytest.approx(1.0, abs=0.01)
+
+    def test_antisymmetric(self):
+        a = curve("a", [(30, 20.0, 28.0), (16, 60.0, 32.0)])
+        b = curve("b", [(30, 25.0, 26.5), (16, 55.0, 31.5)])
+        assert a.average_psnr_gain_over(b) == pytest.approx(-b.average_psnr_gain_over(a))
+
+    def test_no_overlap_rejected(self):
+        a = curve("a", [(30, 10.0, 28.0), (28, 15.0, 29.0)])
+        b = curve("b", [(18, 50.0, 30.0), (16, 60.0, 31.0)])
+        with pytest.raises(ValueError, match="no rate range"):
+            a.average_psnr_gain_over(b)
+
+    def test_identical_curves_zero_gain(self):
+        a = curve("a", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        b = curve("b", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        assert a.average_psnr_gain_over(b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_samples_validated(self):
+        a = curve("a", [(30, 20.0, 27.0), (16, 60.0, 31.0)])
+        with pytest.raises(ValueError):
+            a.average_psnr_gain_over(a, samples=1)
+
+    def test_repr(self):
+        text = repr(curve("acbm/foreman@30", [(30, 20.0, 27.0), (16, 60.0, 31.0)]))
+        assert "acbm/foreman@30" in text
+        assert "2 points" in text

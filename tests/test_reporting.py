@@ -1,0 +1,74 @@
+"""Unit tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.rd import RDCurve, RDPoint
+from repro.analysis.reporting import format_histogram, format_rd_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "2.50" in text
+        assert "30" in text
+
+    def test_title_first_line(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "n"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[3])  # header and row same width
+
+
+class TestFormatRdSeries:
+    def test_contains_curve_labels_and_points(self):
+        curves = [
+            RDCurve("acbm", [RDPoint(16, 60.0, 31.0), RDPoint(30, 20.0, 27.0)]),
+            RDCurve("pbm", [RDPoint(16, 55.0, 30.0)]),
+        ]
+        text = format_rd_series(curves, title="fig")
+        assert text.splitlines()[0] == "fig"
+        assert "[acbm]" in text and "[pbm]" in text
+        assert "60.00" in text and "31.00" in text
+
+
+class TestFormatHistogram:
+    def test_bars_scale_with_counts(self):
+        text = format_histogram({0: 100, 1: 50, 2: 0}, bar_width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_sorted_by_key(self):
+        text = format_histogram({2: 1, 0: 1, 1: 1})
+        keys = [line.split()[0] for line in text.splitlines()]
+        assert keys == ["0", "1", "2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram({})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram({0: 0})

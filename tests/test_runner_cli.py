@@ -1,0 +1,50 @@
+"""Tests for the experiments CLI (repro.experiments.runner)."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("fig4", "fig5", "fig6", "table1", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_common_options_after_command(self):
+        args = build_parser().parse_args(["table1", "--frames", "9", "--seed", "3"])
+        assert args.frames == 9
+        assert args.seed == 3
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_fig4_prints_classes(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "error=0" in out
+        assert "true-vector fraction" in out
+
+    def test_table1_small_run(self, capsys):
+        argv = [
+            "table1", "--frames", "4", "--sequences", "miss_america",
+            "--qps", "30", "--fps", "30",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "max reduction vs FSBM" in out
+
+    def test_fig5_small_run(self, capsys):
+        argv = [
+            "fig5", "--frames", "4", "--sequences", "miss_america",
+            "--qps", "30", "16",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "miss_america" in out
+        assert "acbm" in out and "fsbm" in out and "pbm" in out

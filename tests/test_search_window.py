@@ -1,0 +1,76 @@
+"""Unit tests for repro.me.search_window."""
+
+import pytest
+
+from repro.me.search_window import SearchWindow, clamped_window, half_pel_window
+
+
+class TestSearchWindow:
+    def test_num_positions_full(self):
+        w = SearchWindow(-15, 15, -15, 15)
+        assert w.num_positions == 31 * 31  # 961: the paper's integer count
+
+    def test_must_contain_zero(self):
+        with pytest.raises(ValueError):
+            SearchWindow(1, 5, -2, 2)
+        with pytest.raises(ValueError):
+            SearchWindow(-5, -1, -2, 2)
+
+    def test_contains(self):
+        w = SearchWindow(-2, 3, -1, 1)
+        assert w.contains(0, 0)
+        assert w.contains(-2, 1)
+        assert not w.contains(-3, 0)
+        assert not w.contains(0, 2)
+
+    def test_clamp(self):
+        w = SearchWindow(-2, 3, -1, 1)
+        assert w.clamp(10, -10) == (3, -1)
+        assert w.clamp(0, 0) == (0, 0)
+        assert w.clamp(-5, 0) == (-2, 0)
+
+
+class TestClampedWindow:
+    def test_interior_block_full_window(self):
+        w = clamped_window(64, 64, 16, 16, 144, 176, p=15)
+        assert (w.dx_min, w.dx_max, w.dy_min, w.dy_max) == (-15, 15, -15, 15)
+
+    def test_top_left_corner(self):
+        w = clamped_window(0, 0, 16, 16, 144, 176, p=15)
+        assert (w.dx_min, w.dy_min) == (0, 0)
+        assert (w.dx_max, w.dy_max) == (15, 15)
+
+    def test_bottom_right_corner(self):
+        w = clamped_window(128, 160, 16, 16, 144, 176, p=15)
+        assert (w.dx_max, w.dy_max) == (0, 0)
+        assert (w.dx_min, w.dy_min) == (-15, -15)
+
+    def test_near_edge_partial_clip(self):
+        w = clamped_window(16, 170 - 16, 16, 16, 144, 176, p=15)
+        assert w.dx_max == 176 - 16 - (170 - 16)  # 6
+        assert w.dx_min == -15
+        assert w.dy_min == -15
+
+    def test_block_outside_plane_rejected(self):
+        with pytest.raises(ValueError):
+            clamped_window(140, 0, 16, 16, 144, 176, p=15)
+
+    def test_negative_p_rejected(self):
+        with pytest.raises(ValueError):
+            clamped_window(0, 0, 16, 16, 144, 176, p=-1)
+
+    def test_p_zero_single_position(self):
+        w = clamped_window(64, 64, 16, 16, 144, 176, p=0)
+        assert w.num_positions == 1
+
+
+class TestHalfPelWindow:
+    def test_doubles_bounds(self):
+        w = half_pel_window(SearchWindow(-3, 5, -2, 0))
+        assert (w.dx_min, w.dx_max, w.dy_min, w.dy_max) == (-6, 10, -4, 0)
+
+    def test_full_search_half_pel_count(self):
+        """Full ±15 window in half-pel units spans ±30."""
+        w = half_pel_window(SearchWindow(-15, 15, -15, 15))
+        assert w.contains(30, -30)
+        assert not w.contains(31, 0)

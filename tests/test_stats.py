@@ -1,0 +1,59 @@
+"""Unit tests for repro.me.stats."""
+
+import pytest
+
+from repro.me.stats import SearchStats
+
+
+class TestSearchStats:
+    def test_initial_state(self):
+        s = SearchStats()
+        assert s.blocks == 0
+        assert s.avg_positions_per_block == 0.0
+        assert s.full_search_fraction == 0.0
+
+    def test_record_accumulates(self):
+        s = SearchStats()
+        s.record_block(10)
+        s.record_block(20, used_full_search=True)
+        assert s.blocks == 2
+        assert s.positions == 30
+        assert s.avg_positions_per_block == 15.0
+        assert s.full_search_fraction == 0.5
+
+    def test_decision_counting(self):
+        s = SearchStats()
+        s.record_block(5, decision="low_cost")
+        s.record_block(5, decision="low_cost")
+        s.record_block(969, decision="critical", used_full_search=True)
+        assert s.decisions == {"low_cost": 2, "critical": 1}
+
+    def test_positions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SearchStats().record_block(0)
+
+    def test_merge(self):
+        a = SearchStats()
+        a.record_block(10, decision="low_cost")
+        b = SearchStats()
+        b.record_block(20, used_full_search=True, decision="critical")
+        a.merge(b)
+        assert a.blocks == 2
+        assert a.positions == 30
+        assert a.full_search_blocks == 1
+        assert a.decisions == {"low_cost": 1, "critical": 1}
+
+    def test_reduction_vs_fsbm(self):
+        s = SearchStats()
+        for _ in range(10):
+            s.record_block(97)  # ~10% of 969
+        assert s.reduction_vs(969.0) == pytest.approx(1.0 - 97 / 969)
+
+    def test_reduction_requires_positive_reference(self):
+        with pytest.raises(ValueError):
+            SearchStats().reduction_vs(0.0)
+
+    def test_repr(self):
+        s = SearchStats()
+        s.record_block(42)
+        assert "42.0" in repr(s)

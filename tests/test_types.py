@@ -1,0 +1,132 @@
+"""Unit tests for repro.me.types."""
+
+import numpy as np
+import pytest
+
+from repro.me.types import BlockResult, MotionField, MotionVector
+
+
+class TestMotionVector:
+    def test_half_pel_representation(self):
+        mv = MotionVector(3, -2)
+        assert mv.x_pixels == 1.5
+        assert mv.y_pixels == -1.0
+
+    def test_from_pixels(self):
+        assert MotionVector.from_pixels(1.5, -2.0) == MotionVector(3, -4)
+
+    def test_from_pixels_off_grid_rejected(self):
+        with pytest.raises(ValueError, match="half-pel grid"):
+            MotionVector.from_pixels(0.25, 0.0)
+
+    def test_rejects_non_integer_components(self):
+        with pytest.raises(TypeError):
+            MotionVector(1.5, 0)
+
+    def test_accepts_numpy_integers(self):
+        mv = MotionVector(np.int64(4), np.int32(-6))
+        assert (mv.hx, mv.hy) == (4, -6)
+        assert isinstance(mv.hx, int)
+
+    def test_zero(self):
+        assert MotionVector.zero().is_zero
+        assert not MotionVector(1, 0).is_zero
+
+    def test_integer_pel_predicate(self):
+        assert MotionVector(4, -2).is_integer_pel
+        assert not MotionVector(3, 0).is_integer_pel
+
+    def test_integer_part_truncates_toward_zero(self):
+        assert MotionVector(3, -3).integer_part() == MotionVector(2, -2)
+        assert MotionVector(-1, 1).integer_part() == MotionVector(0, 0)
+
+    def test_algebra(self):
+        a = MotionVector(2, 4)
+        b = MotionVector(-1, 1)
+        assert a + b == MotionVector(1, 5)
+        assert a - b == MotionVector(3, 3)
+        assert -a == MotionVector(-2, -4)
+
+    def test_chebyshev_pixels(self):
+        assert MotionVector(6, -4).chebyshev_pixels() == 3.0
+        assert MotionVector(1, 0).chebyshev_pixels() == 0.5
+
+    def test_magnitude_pixels(self):
+        assert MotionVector(6, 8).magnitude_pixels() == pytest.approx(5.0)
+
+    def test_hashable_and_equal(self):
+        assert len({MotionVector(1, 2), MotionVector(1, 2), MotionVector(2, 1)}) == 2
+
+    def test_repr_in_pixels(self):
+        assert repr(MotionVector(3, -4)) == "MV(+1.5, -2)"
+
+
+class TestBlockResult:
+    def test_valid(self):
+        r = BlockResult(mv=MotionVector.zero(), sad=10, positions=5)
+        assert not r.used_full_search
+
+    def test_negative_sad_rejected(self):
+        with pytest.raises(ValueError):
+            BlockResult(mv=MotionVector.zero(), sad=-1, positions=1)
+
+    def test_zero_positions_rejected(self):
+        with pytest.raises(ValueError):
+            BlockResult(mv=MotionVector.zero(), sad=0, positions=0)
+
+
+class TestMotionField:
+    def test_starts_unset(self):
+        field = MotionField(2, 3)
+        assert field.get(0, 0) is None
+        assert not field.is_complete
+
+    def test_set_get(self):
+        field = MotionField(2, 3)
+        field.set(1, 2, MotionVector(4, 6))
+        assert field.get(1, 2) == MotionVector(4, 6)
+
+    def test_out_of_range_get_returns_none(self):
+        field = MotionField(2, 2)
+        assert field.get(-1, 0) is None
+        assert field.get(0, 5) is None
+
+    def test_out_of_range_set_raises(self):
+        with pytest.raises(IndexError):
+            MotionField(2, 2).set(2, 0, MotionVector.zero())
+
+    def test_zeros_constructor(self):
+        field = MotionField.zeros(3, 4)
+        assert field.is_complete
+        assert all(mv.is_zero for _, _, mv in field)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MotionField(0, 5)
+
+    def test_iteration_raster_order(self):
+        field = MotionField.zeros(2, 2)
+        coords = [(r, c) for r, c, _ in field]
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_vectors_skips_unset(self):
+        field = MotionField(1, 3)
+        field.set(0, 1, MotionVector(2, 0))
+        assert field.vectors() == [MotionVector(2, 0)]
+
+    def test_to_arrays(self):
+        field = MotionField.zeros(2, 2)
+        field.set(0, 1, MotionVector(3, -5))
+        hx, hy = field.to_arrays()
+        assert hx[0, 1] == 3
+        assert hy[0, 1] == -5
+        assert hx.shape == (2, 2)
+
+    def test_to_arrays_requires_complete(self):
+        with pytest.raises(ValueError, match="unset"):
+            MotionField(1, 2).to_arrays()
+
+    def test_repr_counts(self):
+        field = MotionField(2, 2)
+        field.set(0, 0, MotionVector.zero())
+        assert "1 set" in repr(field)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.video.yuv_io."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import Frame, FrameGeometry, QCIF
+from repro.video.sequence import Sequence
+from repro.video.yuv_io import frame_size_bytes, iter_yuv_frames, read_yuv, write_yuv
+
+SMALL = FrameGeometry(32, 16)
+
+
+def random_sequence(n=3, seed=5):
+    rng = np.random.default_rng(seed)
+    frames = [
+        Frame(
+            rng.integers(0, 256, (16, 32), dtype=np.uint8),
+            rng.integers(0, 256, (8, 16), dtype=np.uint8),
+            rng.integers(0, 256, (8, 16), dtype=np.uint8),
+            index=i,
+        )
+        for i in range(n)
+    ]
+    return Sequence(frames, fps=30, name="io")
+
+
+class TestFrameSize:
+    def test_qcif_frame_size(self):
+        # 176*144 + 2 * 88*72 = 38016 bytes — the well-known QCIF size.
+        assert frame_size_bytes(QCIF) == 38016
+
+    def test_small(self):
+        assert frame_size_bytes(SMALL) == 32 * 16 + 2 * 16 * 8
+
+
+class TestRoundTrip:
+    def test_write_then_read_is_identity(self, tmp_path):
+        seq = random_sequence(4)
+        path = tmp_path / "clip.yuv"
+        written = write_yuv(path, seq)
+        assert written == 4 * frame_size_bytes(SMALL)
+        back = read_yuv(path, SMALL, fps=30)
+        assert len(back) == 4
+        for a, b in zip(seq, back):
+            assert a == b
+
+    def test_read_respects_max_frames(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(5))
+        back = read_yuv(path, SMALL, max_frames=2)
+        assert len(back) == 2
+
+    def test_read_assigns_indices(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(3))
+        back = read_yuv(path, SMALL)
+        assert [f.index for f in back] == [0, 1, 2]
+
+    def test_default_name_is_filename(self, tmp_path):
+        path = tmp_path / "myclip.yuv"
+        write_yuv(path, random_sequence(1))
+        assert read_yuv(path, SMALL).name == "myclip.yuv"
+
+
+class TestErrors:
+    def test_wrong_geometry_detected(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(2))
+        with pytest.raises(ValueError, match="not a multiple"):
+            list(iter_yuv_frames(path, QCIF))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.yuv"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="no frames"):
+            read_yuv(path, SMALL)
