@@ -1,0 +1,2 @@
+"""Opt-in benchmark suite (package so relative conftest imports
+resolve).  Run explicitly: pytest benchmarks/ --benchmark-only."""

@@ -33,6 +33,7 @@ from repro.codec.macroblock import (
 from repro.codec.quantizer import check_qp
 from repro.codec.mv_coding import predict_mv, write_mvd
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
+from repro.me.engine import ReferencePlane
 from repro.me.estimator import MotionEstimator, create_estimator
 from repro.me.stats import SearchStats
 from repro.me.subpel import predict_block
@@ -176,11 +177,15 @@ class Encoder:
                 )
                 prev_field = None
             else:
+                # One reference cache per P-frame, shared by the motion
+                # search and the luma motion compensation below — both
+                # read the same interpolated half-pel samples.
+                plane = ReferencePlane.wrap(prev_recon.y)
                 field, stats = self.estimator.estimate(
-                    frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp
+                    frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
                 )
                 bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
-                    writer, frame, prev_recon, field
+                    writer, frame, prev_recon, field, plane
                 )
                 record = FrameRecord(
                     index=frame.index,
@@ -263,6 +268,7 @@ class Encoder:
         frame: Frame,
         reference: Frame,
         field: MotionField,
+        plane: ReferencePlane | None = None,
     ) -> tuple[int, Frame, int, int, int]:
         start_bits = writer.bit_count
         self._write_picture_header(writer, frame, "P")
@@ -276,6 +282,7 @@ class Encoder:
         skipped = 0
         mv_bits_total = 0
         coef_bits_total = 0
+        luma_ref = plane if plane is not None else reference.y
         for r in range(geometry.mb_rows):
             for c in range(geometry.mb_cols):
                 mv = field.get(r, c)
@@ -283,7 +290,7 @@ class Encoder:
                     raise ValueError(f"motion field missing entry ({r}, {c})")
                 y0, x0 = 16 * r, 16 * c
                 cy0, cx0 = 8 * r, 8 * c
-                pred_y = predict_block(reference.y, y0, x0, mv, 16, 16).astype(np.float64)
+                pred_y = predict_block(luma_ref, y0, x0, mv, 16, 16).astype(np.float64)
                 pred_cb = predict_chroma_block(
                     reference.cb, cy0, cx0, mv, self.estimator.p
                 ).astype(np.float64)

@@ -75,8 +75,9 @@ class ACBMEstimator(MotionEstimator):
         params: ACBMParameters | None = None,
         refine_steps: int = 2,
         lagrangian: bool = False,
+        use_engine: bool = True,
     ) -> None:
-        super().__init__(p=p, block_size=block_size, half_pel=half_pel)
+        super().__init__(p=p, block_size=block_size, half_pel=half_pel, use_engine=use_engine)
         self.params = params if params is not None else ACBMParameters.paper_defaults()
         self.lagrangian = lagrangian
         # The embedded predictive stage; half-pel kept on so SAD_PBM is
@@ -110,7 +111,7 @@ class ACBMEstimator(MotionEstimator):
             used_full_search = True
             if self.half_pel:
                 fs_mv, fs_sad, extra = refine_half_pel(
-                    ctx.block, ctx.reference, ctx.block_y, ctx.block_x, fs_mv, fs_sad, window
+                    ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, fs_mv, fs_sad, window
                 )
                 positions += extra
             if self._vector_cost(fs_sad, fs_mv, ctx) < self._vector_cost(best_sad, mv, ctx):

@@ -26,8 +26,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.me.full_search import full_search_sads, select_minimum
-from repro.me.metrics import intra_sad, sad_deviation
+from repro.me.engine import frame_sad_surfaces, select_minima
+from repro.me.metrics import block_activity_map
 from repro.me.types import MotionVector
 from repro.video.frame import QCIF, FrameGeometry
 from repro.video.synthesis.texture import (
@@ -203,14 +203,18 @@ def run_fig4(
         reference = frames[pair_index]
         current = frames[pair_index + 1]
         truth = MotionVector(2 * dx, 2 * dy)
+        # One engine pass per frame pair: every block's full SAD surface
+        # (also the backing store of SAD_deviation), the FSBM minima
+        # with the standard tie-break, and the Intra_SAD activity map —
+        # block-for-block identical to running full_search_sads /
+        # select_minimum / sad_deviation per macroblock.
+        surfaces = frame_sad_surfaces(current, reference, block_size, p)
+        best_dx, best_dy, sad_mins, _ = select_minima(surfaces)
+        deviations = surfaces.deviations()
+        activity = block_activity_map(current, block_size)
         for r in range(mb_rows):
             for c in range(mb_cols):
-                by, bx = r * block_size, c * block_size
-                block = current[by : by + block_size, bx : bx + block_size]
-                sads, window_bounds = full_search_sads(
-                    current, reference, by, bx, block_size, p
-                )
-                mv, sad_min = select_minimum(sads, window_bounds)
+                mv = MotionVector(2 * int(best_dx[r, c]), 2 * int(best_dy[r, c]))
                 error = (mv - truth).chebyshev_pixels()
                 error_class = min(int(error), 5)
                 result.observations.append(
@@ -219,9 +223,9 @@ def run_fig4(
                         mb_row=r,
                         mb_col=c,
                         error_class=error_class,
-                        intra_sad=intra_sad(block),
-                        sad_deviation=sad_deviation(sads),
-                        sad_min=sad_min,
+                        intra_sad=float(activity[r, c]),
+                        sad_deviation=int(deviations[r, c]),
+                        sad_min=int(sad_mins[r, c]),
                     )
                 )
     return result

@@ -29,8 +29,15 @@ class DiamondEstimator(MotionEstimator):
     stays finite even on pathological (periodic) content.
     """
 
-    def __init__(self, p: int = 15, block_size: int = 16, half_pel: bool = True, max_recentres: int = 32) -> None:
-        super().__init__(p=p, block_size=block_size, half_pel=half_pel)
+    def __init__(
+        self,
+        p: int = 15,
+        block_size: int = 16,
+        half_pel: bool = True,
+        max_recentres: int = 32,
+        use_engine: bool = True,
+    ) -> None:
+        super().__init__(p=p, block_size=block_size, half_pel=half_pel, use_engine=use_engine)
         if max_recentres < 1:
             raise ValueError(f"max_recentres must be >= 1, got {max_recentres}")
         self.max_recentres = max_recentres
@@ -46,7 +53,7 @@ class DiamondEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
         )
         evaluator.evaluate(0, 0)
         evaluator.descend(LARGE_DIAMOND, self.max_recentres)
@@ -56,7 +63,7 @@ class DiamondEstimator(MotionEstimator):
         positions = evaluator.positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions)

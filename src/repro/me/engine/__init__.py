@@ -1,0 +1,48 @@
+"""Frame-level vectorized search engine.
+
+The seed reproduction evaluated every candidate with a per-block,
+per-candidate Python-level SAD: each block re-sliced the reference and
+each half-pel candidate re-ran the bilinear interpolation.  Real
+encoders build the interpolated reference **once per frame** and batch
+candidate evaluation; this package is that engine:
+
+* :class:`ReferencePlane` — a per-frame cache around the reference luma
+  with its 2x-upsampled half-pel plane (H.263 bilinear rounding,
+  bit-exact with :func:`repro.me.subpel.half_pel_block`), built once
+  and shared by every estimator, the half-pel refinement and the
+  encoder's motion compensation.
+* :func:`frame_sad_surfaces` — the full +-p SAD surface of *every*
+  macroblock of a frame in one vectorized pass.
+* :func:`select_minima` / :func:`refine_half_pel_batch` — vectorized
+  minimum selection (full-search tie-break semantics) and batched
+  8-neighbour half-pel refinement over all blocks at once.
+* :func:`evaluate_candidates_batch` — arbitrary candidate lists scored
+  for many blocks in one gather, used by the fast searches'
+  :class:`repro.me.candidates.CandidateEvaluator`.
+
+Everything in here is *bit-exact* with the per-block reference
+implementations it replaces; ``tests/test_engine.py`` holds the golden
+equivalence proofs.
+"""
+
+from repro.me.engine.kernels import (
+    SURFACE_SENTINEL,
+    FrameSadSurfaces,
+    evaluate_candidates_batch,
+    frame_sad_surfaces,
+    refine_half_pel_batch,
+    select_minima,
+    supports_vectorized_search,
+)
+from repro.me.engine.reference_plane import ReferencePlane
+
+__all__ = [
+    "SURFACE_SENTINEL",
+    "FrameSadSurfaces",
+    "ReferencePlane",
+    "evaluate_candidates_batch",
+    "frame_sad_surfaces",
+    "refine_half_pel_batch",
+    "select_minima",
+    "supports_vectorized_search",
+]

@@ -2,10 +2,19 @@
 
 Every algorithm (full search, predictive, ACBM, the fast-search
 baselines) implements one method — :meth:`MotionEstimator.search_block`
-— and inherits :meth:`MotionEstimator.estimate`, which walks the
-macroblock grid in raster order (the order H.263 encodes, and the order
-that makes the left/top spatial predictors of Fig. 2 available),
-assembling a :class:`MotionField` and a :class:`SearchStats`.
+— and inherits :meth:`MotionEstimator.estimate`.  The frame driver,
+:meth:`MotionEstimator.estimate_frame`, is *overridable*: the default
+walks the macroblock grid in raster order (the order H.263 encodes, and
+the order that makes the left/top spatial predictors of Fig. 2
+available), assembling a :class:`MotionField` and a
+:class:`SearchStats`; estimators with a whole-frame vectorized path
+(FSBM) override it and batch every block through
+:mod:`repro.me.engine` instead, with bit-identical results.
+
+``estimate`` also builds one :class:`repro.me.engine.ReferencePlane`
+per call (or accepts a shared one from the encoder) so every search's
+half-pel candidates read a single cached interpolation of the
+reference rather than re-deriving it per candidate.
 
 Estimators are stateless between frames; temporal context (the previous
 frame's motion field) is passed in explicitly so the same instance can
@@ -20,6 +29,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.stats import SearchStats
 from repro.me.types import BlockResult, MotionField
 
@@ -36,6 +46,9 @@ class BlockContext:
     field: MotionField
     prev_field: MotionField | None
     qp: int
+    #: Shared per-frame cache (half-pel plane etc.); ``None`` when the
+    #: reference is not cacheable or the engine is disabled.
+    ref_plane: ReferencePlane | None = None
 
     @property
     def block_y(self) -> int:
@@ -50,6 +63,12 @@ class BlockContext:
         s = self.block_size
         return self.current[self.block_y : self.block_y + s, self.block_x : self.block_x + s]
 
+    @property
+    def matcher_reference(self) -> "np.ndarray | ReferencePlane":
+        """What searches hand to the SAD/half-pel helpers: the cached
+        plane when available, the raw array otherwise."""
+        return self.ref_plane if self.ref_plane is not None else self.reference
+
 
 class MotionEstimator(ABC):
     """Base class for all block-matching estimators.
@@ -63,12 +82,23 @@ class MotionEstimator(ABC):
     half_pel:
         Whether the final vector is refined to half-pel precision, as
         in the paper's H.263 setting.
+    use_engine:
+        When True (default) the frame driver builds a shared
+        :class:`ReferencePlane` per call and batch paths may engage;
+        False forces the seed's per-block, per-candidate evaluation —
+        the golden tests and benchmarks compare the two.
     """
 
     #: Registry key; subclasses override.
     name: str = ""
 
-    def __init__(self, p: int = 15, block_size: int = 16, half_pel: bool = True) -> None:
+    def __init__(
+        self,
+        p: int = 15,
+        block_size: int = 16,
+        half_pel: bool = True,
+        use_engine: bool = True,
+    ) -> None:
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
         if block_size < 1:
@@ -76,6 +106,7 @@ class MotionEstimator(ABC):
         self.p = p
         self.block_size = block_size
         self.half_pel = half_pel
+        self.use_engine = use_engine
 
     @abstractmethod
     def search_block(self, ctx: BlockContext) -> BlockResult:
@@ -87,11 +118,15 @@ class MotionEstimator(ABC):
         reference: np.ndarray,
         prev_field: MotionField | None = None,
         qp: int = 16,
+        ref_plane: ReferencePlane | None = None,
     ) -> tuple[MotionField, SearchStats]:
         """Estimate the motion field of ``current`` against ``reference``.
 
         Planes must share shape and be exact multiples of the block
-        size.  Returns the completed field and the search-cost stats.
+        size.  ``ref_plane`` lets the encoder share one per-frame cache
+        across estimation and motion compensation; when omitted one is
+        built here.  Returns the completed field and the search-cost
+        stats.
         """
         cur = np.asarray(current)
         ref = np.asarray(reference)
@@ -107,19 +142,57 @@ class MotionEstimator(ABC):
                 f"previous field {prev_field.mb_rows}x{prev_field.mb_cols} "
                 f"does not match {rows}x{cols} grid"
             )
+        plane: ReferencePlane | None = None
+        if self.use_engine:
+            if ref_plane is not None:
+                # A stale cache (e.g. hoisted out of a frame loop) would
+                # silently search the wrong frame; the equality check is
+                # trivially cheap next to one frame's search.
+                if ref_plane.luma is not ref and (
+                    ref_plane.shape != ref.shape or not np.array_equal(ref_plane.luma, ref)
+                ):
+                    raise ValueError(
+                        f"ref_plane {ref_plane.shape} does not wrap this reference "
+                        f"{ref.shape}: build one ReferencePlane per reference frame"
+                    )
+                plane = ref_plane
+            else:
+                plane = ReferencePlane.wrap(ref)
+        return self.estimate_frame(cur, ref, plane, prev_field, qp)
+
+    def estimate_frame(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        plane: ReferencePlane | None,
+        prev_field: MotionField | None,
+        qp: int,
+    ) -> tuple[MotionField, SearchStats]:
+        """Frame driver: produce the complete field and stats.
+
+        The base implementation is the per-block raster walk every
+        search supports; estimators with a whole-frame vectorized path
+        override this (and must stay bit-identical — searches whose
+        block decisions feed later blocks, like predictive/ACBM, keep
+        the raster walk so Fig. 2's causal predictors are available).
+        Inputs are pre-validated by :meth:`estimate`.
+        """
+        s = self.block_size
+        rows, cols = current.shape[0] // s, current.shape[1] // s
         field = MotionField(rows, cols)
         stats = SearchStats()
         for r in range(rows):
             for c in range(cols):
                 ctx = BlockContext(
-                    current=cur,
-                    reference=ref,
+                    current=current,
+                    reference=reference,
                     mb_row=r,
                     mb_col=c,
                     block_size=s,
                     field=field,
                     prev_field=prev_field,
                     qp=qp,
+                    ref_plane=plane,
                 )
                 result = self.search_block(ctx)
                 field.set(r, c, result.mv)

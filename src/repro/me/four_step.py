@@ -33,8 +33,15 @@ _INNER = tuple(
 class FourStepEstimator(MotionEstimator):
     """Classic four-step search with half-pel refinement."""
 
-    def __init__(self, p: int = 15, block_size: int = 16, half_pel: bool = True, max_recentres: int = 2) -> None:
-        super().__init__(p=p, block_size=block_size, half_pel=half_pel)
+    def __init__(
+        self,
+        p: int = 15,
+        block_size: int = 16,
+        half_pel: bool = True,
+        max_recentres: int = 2,
+        use_engine: bool = True,
+    ) -> None:
+        super().__init__(p=p, block_size=block_size, half_pel=half_pel, use_engine=use_engine)
         if max_recentres < 0:
             raise ValueError(f"max_recentres must be >= 0, got {max_recentres}")
         self.max_recentres = max_recentres
@@ -50,7 +57,7 @@ class FourStepEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
         )
         evaluator.evaluate(0, 0)
         evaluator.evaluate_many(_OUTER)
@@ -67,7 +74,7 @@ class FourStepEstimator(MotionEstimator):
         positions = evaluator.positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions)

@@ -1,9 +1,20 @@
 """Full-search block matching (FSBM), Section 2.3 of the paper.
 
-Evaluates every integer displacement in the (clipped) ±p window with a
-vectorized SAD map, then refines the winner over the 8 half-pel
-neighbours.  With p = 15 and no border clipping that is the paper's
-961 + 8 = 969 candidate positions per macroblock.
+Evaluates every integer displacement in the (clipped) ±p window, then
+refines the winner over the 8 half-pel neighbours.  With p = 15 and no
+border clipping that is the paper's 961 + 8 = 969 candidate positions
+per macroblock.
+
+Two equivalent paths produce the decision:
+
+* the per-block path (:meth:`FullSearchEstimator.search_block`): a
+  vectorized SAD map over one block's window — the seed implementation,
+  kept as the fallback and the golden reference;
+* the frame path (:meth:`FullSearchEstimator.estimate_frame`): the
+  engine's :func:`repro.me.engine.frame_sad_surfaces` computes every
+  block's surface in one batched pass and the half-pel stage reads the
+  shared :class:`repro.me.engine.ReferencePlane` — ~5x faster,
+  bit-identical fields, SADs and position counts.
 
 Tie-breaking: among equal-SAD minima the vector with the smallest
 Chebyshev length wins (then smaller dy, then dx).  This mirrors real
@@ -15,11 +26,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.me.engine.kernels import (
+    frame_sad_surfaces,
+    refine_half_pel_batch,
+    select_minima,
+    supports_vectorized_search,
+)
+from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.estimator import BlockContext, MotionEstimator, register_estimator
 from repro.me.metrics import sad_map
 from repro.me.search_window import SearchWindow, clamped_window
+from repro.me.stats import SearchStats
 from repro.me.subpel import refine_half_pel
-from repro.me.types import BlockResult, MotionVector
+from repro.me.types import BlockResult, MotionField, MotionVector
 
 
 def full_search_sads(
@@ -81,7 +100,42 @@ class FullSearchEstimator(MotionEstimator):
         positions = window.num_positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions, used_full_search=True)
+
+    def estimate_frame(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        plane: ReferencePlane | None,
+        prev_field,
+        qp: int,
+    ) -> tuple[MotionField, SearchStats]:
+        """Whole-frame batched FSBM via the engine kernels.
+
+        Falls back to the per-block raster walk when the engine is off
+        or the geometry is outside the fast path's envelope; both paths
+        emit bit-identical fields, SADs and position counts (proven by
+        the golden tests in ``tests/test_engine.py``).
+        """
+        if (
+            plane is None
+            or np.asarray(current).dtype != np.uint8
+            or not supports_vectorized_search(plane.luma, self.block_size, self.p)
+        ):
+            return super().estimate_frame(current, reference, plane, prev_field, qp)
+        surfaces = frame_sad_surfaces(current, plane, self.block_size, self.p)
+        dx, dy, sads, positions = select_minima(surfaces)
+        if self.half_pel:
+            hx, hy, sads, extra = refine_half_pel_batch(
+                current, plane, dx, dy, sads, self.block_size, self.p
+            )
+            positions = positions + extra
+        else:
+            hx, hy = 2 * dx, 2 * dy
+        field = MotionField.from_arrays(hx, hy)
+        stats = SearchStats()
+        stats.record_frame(positions, used_full_search=True)
+        return field, stats

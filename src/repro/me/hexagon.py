@@ -25,8 +25,15 @@ LARGE_HEXAGON = ((-2, 0), (2, 0), (-1, -2), (1, -2), (-1, 2), (1, 2))
 class HexagonEstimator(MotionEstimator):
     """Hexagon-based search with half-pel refinement."""
 
-    def __init__(self, p: int = 15, block_size: int = 16, half_pel: bool = True, max_recentres: int = 32) -> None:
-        super().__init__(p=p, block_size=block_size, half_pel=half_pel)
+    def __init__(
+        self,
+        p: int = 15,
+        block_size: int = 16,
+        half_pel: bool = True,
+        max_recentres: int = 32,
+        use_engine: bool = True,
+    ) -> None:
+        super().__init__(p=p, block_size=block_size, half_pel=half_pel, use_engine=use_engine)
         if max_recentres < 1:
             raise ValueError(f"max_recentres must be >= 1, got {max_recentres}")
         self.max_recentres = max_recentres
@@ -42,7 +49,7 @@ class HexagonEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
         )
         evaluator.evaluate(0, 0)
         evaluator.descend(LARGE_HEXAGON, self.max_recentres)
@@ -52,7 +59,7 @@ class HexagonEstimator(MotionEstimator):
         positions = evaluator.positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions)

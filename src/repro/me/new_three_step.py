@@ -39,7 +39,7 @@ class NewThreeStepEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
         )
         evaluator.evaluate(0, 0)
         step = initial_step(self.p)
@@ -67,7 +67,7 @@ class NewThreeStepEstimator(MotionEstimator):
         positions = evaluator.positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions)

@@ -87,8 +87,9 @@ class PredictiveEstimator(MotionEstimator):
         block_size: int = 16,
         half_pel: bool = True,
         refine_steps: int = 2,
+        use_engine: bool = True,
     ) -> None:
-        super().__init__(p=p, block_size=block_size, half_pel=half_pel)
+        super().__init__(p=p, block_size=block_size, half_pel=half_pel, use_engine=use_engine)
         if refine_steps < 0:
             raise ValueError(f"refine_steps must be >= 0, got {refine_steps}")
         self.refine_steps = refine_steps
@@ -104,7 +105,7 @@ class PredictiveEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
         )
         predictors = gather_predictors(ctx.mb_row, ctx.mb_col, ctx.field, ctx.prev_field)
         for mv in predictors:
@@ -119,7 +120,7 @@ class PredictiveEstimator(MotionEstimator):
         positions = evaluator.positions
         if self.half_pel:
             mv, best_sad, extra = refine_half_pel(
-                ctx.block, ctx.reference, ctx.block_y, ctx.block_x, mv, best_sad, window
+                ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, mv, best_sad, window
             )
             positions += extra
         return BlockResult(mv=mv, sad=best_sad, positions=positions, used_full_search=False)

@@ -37,6 +37,19 @@ class SearchStats:
         if decision is not None:
             self.decisions[decision] = self.decisions.get(decision, 0) + 1
 
+    def record_frame(
+        self,
+        positions,
+        used_full_search: bool = False,
+        decision: str | None = None,
+    ) -> None:
+        """Record a whole frame's per-block position counts at once —
+        the batched estimators' bulk form of :meth:`record_block`
+        (delegates per block so the accounting lives in one place)."""
+        for row in positions:
+            for count in row:
+                self.record_block(int(count), used_full_search=used_full_search, decision=decision)
+
     def merge(self, other: "SearchStats") -> None:
         """Fold another accumulator into this one (frame → sequence)."""
         self.blocks += other.blocks

@@ -8,14 +8,18 @@ samples with upward rounding:
 * centre:           ``(a + b + c + d + 2) >> 2``
 
 Both the estimators (candidate evaluation) and the codec (motion
-compensation) go through :func:`half_pel_block`, so the SAD a search
-reports is exactly the SAD the encoder's residual will see.
+compensation) read the same samples, so the SAD a search reports is
+exactly the SAD the encoder's residual will see.  :func:`half_pel_block`
+is the per-patch reference implementation; when callers hold a
+:class:`repro.me.engine.ReferencePlane` the same samples come from its
+precomputed half-pel plane instead (bit-exact, built once per frame).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.metrics import sad
 from repro.me.search_window import SearchWindow, half_pel_window
 from repro.me.types import MotionVector
@@ -63,7 +67,7 @@ HALF_PEL_NEIGHBOURS: tuple[tuple[int, int], ...] = (
 
 def refine_half_pel(
     block: np.ndarray,
-    ref: np.ndarray,
+    ref: np.ndarray | ReferencePlane,
     block_y: int,
     block_x: int,
     anchor: MotionVector,
@@ -78,7 +82,9 @@ def refine_half_pel(
     block:
         Current-frame block.
     ref:
-        Reference plane.
+        Reference plane — a raw array (per-candidate interpolation) or
+        a :class:`ReferencePlane` (reads the cached half-pel plane;
+        identical samples, built once per frame).
     block_y, block_x:
         Block top-left pixel position in the current frame.
     anchor, anchor_sad:
@@ -94,6 +100,7 @@ def refine_half_pel(
     """
     if not anchor.is_integer_pel:
         raise ValueError(f"half-pel refinement anchor must be integer-pel, got {anchor}")
+    plane = ref if isinstance(ref, ReferencePlane) else None
     hwin = half_pel_window(window)
     best_mv, best_sad = anchor, anchor_sad
     evaluated = 0
@@ -102,7 +109,10 @@ def refine_half_pel(
         hx, hy = anchor.hx + dhx, anchor.hy + dhy
         if not hwin.contains(hx, hy):
             continue
-        pred = half_pel_block(ref, 2 * block_y + hy, 2 * block_x + hx, h, w)
+        if plane is not None:
+            pred = plane.block(2 * block_y + hy, 2 * block_x + hx, h, w)
+        else:
+            pred = half_pel_block(ref, 2 * block_y + hy, 2 * block_x + hx, h, w)
         cand_sad = sad(block, pred)
         evaluated += 1
         if cand_sad < best_sad:
@@ -111,7 +121,7 @@ def refine_half_pel(
 
 
 def predict_block(
-    ref: np.ndarray,
+    ref: np.ndarray | ReferencePlane,
     block_y: int,
     block_x: int,
     mv: MotionVector,
@@ -120,7 +130,10 @@ def predict_block(
 ) -> np.ndarray:
     """Motion-compensated prediction for a block: the reference patch the
     codec subtracts.  Dispatches between the integer fast path and
-    half-pel interpolation."""
+    half-pel interpolation; a :class:`ReferencePlane` serves both from
+    its caches."""
+    if isinstance(ref, ReferencePlane):
+        return ref.predict(block_y, block_x, mv, height, width)
     if mv.is_integer_pel:
         y = block_y + mv.hy // 2
         x = block_x + mv.hx // 2

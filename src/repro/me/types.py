@@ -153,6 +153,28 @@ class MotionField:
                 field.set(r, c, MotionVector.zero())
         return field
 
+    @staticmethod
+    def from_arrays(hx: np.ndarray, hy: np.ndarray) -> "MotionField":
+        """Build a complete field from half-pel component grids — the
+        inverse of :meth:`to_arrays`, used by the batched frame
+        estimators.  Vectors repeat heavily across a frame, so equal
+        components share one :class:`MotionVector` instance."""
+        hx = np.asarray(hx)
+        hy = np.asarray(hy)
+        if hx.shape != hy.shape or hx.ndim != 2:
+            raise ValueError(f"component grids must share a 2-D shape: {hx.shape} vs {hy.shape}")
+        field = MotionField(hx.shape[0], hx.shape[1])
+        pool: dict[tuple[int, int], MotionVector] = {}
+        for r in range(hx.shape[0]):
+            row = field._mvs[r]
+            for c in range(hx.shape[1]):
+                key = (int(hx[r, c]), int(hy[r, c]))
+                mv = pool.get(key)
+                if mv is None:
+                    mv = pool.setdefault(key, MotionVector(key[0], key[1]))
+                row[c] = mv
+        return field
+
     def get(self, mb_row: int, mb_col: int) -> MotionVector | None:
         """Vector at (row, col); ``None`` if out of range or not yet set."""
         if 0 <= mb_row < self.mb_rows and 0 <= mb_col < self.mb_cols:

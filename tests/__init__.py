@@ -1,0 +1,2 @@
+"""Test suite for the conf_date_LopezCLS05 reproduction (package so
+relative conftest imports resolve under pytest's importlib mode)."""

@@ -1,0 +1,390 @@
+"""Golden-equivalence and property tests for the frame-level engine.
+
+The engine (``repro.me.engine``) re-implements the seed's per-block,
+per-candidate hot path as whole-frame vectorized kernels.  Nothing
+about the numbers is allowed to change: every test here pins a batched
+kernel against the per-block reference implementation it replaced —
+same SADs, same vectors, same tie-breaks, same position counts, same
+bitstreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.me.candidates import CandidateEvaluator
+from repro.me.engine import (
+    SURFACE_SENTINEL,
+    ReferencePlane,
+    evaluate_candidates_batch,
+    frame_sad_surfaces,
+    refine_half_pel_batch,
+    select_minima,
+    supports_vectorized_search,
+)
+from repro.me.engine.kernels import _frame_sad_surfaces_generic
+from repro.me.estimator import available_estimators, create_estimator
+from repro.me.full_search import FullSearchEstimator, full_search_sads, select_minimum
+from repro.me.metrics import sad_deviation
+from repro.me.search_window import SearchWindow, clamped_window
+from repro.me.subpel import half_pel_block, predict_block, refine_half_pel
+from repro.me.types import MotionVector
+
+from .conftest import shifted_plane, textured_plane
+
+
+def random_plane(seed: int, h: int = 48, w: int = 64) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 256, (h, w), dtype=np.uint8)
+
+
+def tie_heavy_plane(seed: int, h: int = 48, w: int = 64) -> np.ndarray:
+    """Two-level quantized noise: many equal-SAD minima, so tie-break
+    paths actually execute."""
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 2, (h, w)) * 120 + 40).astype(np.uint8)
+
+
+# -- ReferencePlane ------------------------------------------------------
+
+
+class TestReferencePlane:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), fy=st.integers(0, 1), fx=st.integers(0, 1))
+    def test_block_matches_half_pel_block(self, seed, fy, fx):
+        """Property: every half-pel block read from the cached plane is
+        sample-for-sample the seed interpolation."""
+        ref = random_plane(seed, 24, 20)
+        plane = ReferencePlane(ref)
+        rng = np.random.default_rng(seed + 1)
+        height, width = 8, 8
+        hy = 2 * int(rng.integers(0, ref.shape[0] - height)) + fy
+        hx = 2 * int(rng.integers(0, ref.shape[1] - width)) + fx
+        np.testing.assert_array_equal(
+            plane.block(hy, hx, height, width), half_pel_block(ref, hy, hx, height, width)
+        )
+
+    def test_block_exhaustive_with_borders(self):
+        """Every legal half-pel coordinate of a small plane, including
+        the clipped border extremes."""
+        ref = random_plane(7, 10, 12)
+        plane = ReferencePlane(ref)
+        height = width = 4
+        for hy in range(0, 2 * (ref.shape[0] - height) + 1):
+            for hx in range(0, 2 * (ref.shape[1] - width) + 1):
+                np.testing.assert_array_equal(
+                    plane.block(hy, hx, height, width),
+                    half_pel_block(ref, hy, hx, height, width),
+                )
+
+    def test_half_plane_shape_and_integer_samples(self):
+        ref = random_plane(3, 16, 18)
+        plane = ReferencePlane(ref)
+        assert plane.half_plane.shape == (31, 35)
+        np.testing.assert_array_equal(plane.half_plane[::2, ::2], ref)
+
+    def test_out_of_support_rejected(self):
+        plane = ReferencePlane(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(ValueError, match="support"):
+            plane.block(1, 0, 8, 8)
+        plane.block(0, 0, 8, 8)  # integer position at the edge is fine
+
+    def test_wrap_rejects_uncacheable(self):
+        assert ReferencePlane.wrap(np.zeros((8, 8), dtype=np.float64)) is None
+        assert ReferencePlane.wrap(np.zeros((8, 8, 3), dtype=np.uint8)) is None
+        plane = ReferencePlane(np.zeros((8, 8), dtype=np.uint8))
+        assert ReferencePlane.wrap(plane) is plane
+
+    def test_predict_matches_predict_block(self):
+        ref = textured_plane(48, 64, seed=21)
+        plane = ReferencePlane(ref)
+        for mv in (MotionVector(4, -2), MotionVector(3, 1), MotionVector(-1, 0)):
+            np.testing.assert_array_equal(
+                plane.predict(16, 16, mv, 16, 16), predict_block(ref, 16, 16, mv, 16, 16)
+            )
+
+    def test_predict_block_dispatches_to_plane(self):
+        ref = textured_plane(48, 64, seed=22)
+        plane = ReferencePlane(ref)
+        mv = MotionVector(5, -3)
+        np.testing.assert_array_equal(
+            predict_block(plane, 16, 16, mv, 16, 16), predict_block(ref, 16, 16, mv, 16, 16)
+        )
+
+
+# -- frame_sad_surfaces --------------------------------------------------
+
+
+GEOMETRIES = [
+    (48, 64, 16, 15),  # heavier clipping than the window on all sides
+    (64, 48, 16, 7),
+    (32, 32, 16, 3),
+    (48, 64, 8, 9),  # 8x8 fast path
+]
+
+
+class TestFrameSadSurfaces:
+    @pytest.mark.parametrize("h,w,s,p", GEOMETRIES)
+    def test_matches_per_block_full_search(self, h, w, s, p):
+        cur = random_plane(h * w + s + p, h, w)
+        ref = random_plane(h * w + s + p + 1, h, w)
+        fss = frame_sad_surfaces(cur, ref, s, p)
+        for r in range(h // s):
+            for c in range(w // s):
+                sads, window = full_search_sads(cur, ref, r * s, c * s, s, p)
+                got, got_window = fss.block_surface(r, c)
+                assert got_window == window
+                np.testing.assert_array_equal(got, sads)
+                # Everything outside the clipped window is the sentinel.
+                mask = np.ones((2 * p + 1, 2 * p + 1), dtype=bool)
+                mask[
+                    window.dy_min + p : window.dy_max + p + 1,
+                    window.dx_min + p : window.dx_max + p + 1,
+                ] = False
+                assert (fss.surfaces[r, c][mask] == SURFACE_SENTINEL).all()
+
+    def test_generic_path_identical_to_fast_path(self):
+        cur, ref = random_plane(100), random_plane(101)
+        fast = frame_sad_surfaces(cur, ref, 16, 7)
+        generic = _frame_sad_surfaces_generic(cur, ref, 16, 7)
+        np.testing.assert_array_equal(fast.surfaces, generic.surfaces)
+
+    def test_deviations_match_sad_deviation(self):
+        cur, ref = random_plane(5), random_plane(6)
+        fss = frame_sad_surfaces(cur, ref, 16, 15)
+        devs = fss.deviations()
+        for r in range(fss.mb_rows):
+            for c in range(fss.mb_cols):
+                sads, _ = full_search_sads(cur, ref, r * 16, c * 16, 16, 15)
+                assert devs[r, c] == sad_deviation(sads)
+
+    def test_positions_match_windows(self):
+        fss = frame_sad_surfaces(random_plane(8), random_plane(9), 16, 15)
+        pos = fss.positions()
+        for r in range(fss.mb_rows):
+            for c in range(fss.mb_cols):
+                assert pos[r, c] == fss.window(r, c).num_positions
+
+    def test_supports_vectorized_search_envelope(self):
+        u8 = np.zeros((48, 64), dtype=np.uint8)
+        assert supports_vectorized_search(u8, 16, 15)
+        assert supports_vectorized_search(u8, 8, 31)
+        assert not supports_vectorized_search(u8, 32, 15)  # lane overflow
+        assert not supports_vectorized_search(u8, 16, 32)  # tie-break packing
+        assert not supports_vectorized_search(u8.astype(np.int16), 16, 15)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            frame_sad_surfaces(random_plane(1, 48, 64), random_plane(2, 48, 48), 16, 7)
+
+
+# -- select_minima -------------------------------------------------------
+
+
+class TestSelectMinima:
+    @pytest.mark.parametrize("maker", [random_plane, tie_heavy_plane])
+    @pytest.mark.parametrize("p", [3, 7, 15])
+    def test_matches_select_minimum(self, maker, p):
+        cur, ref = maker(11), maker(12)
+        fss = frame_sad_surfaces(cur, ref, 16, p)
+        dx, dy, sads, positions = select_minima(fss)
+        for r in range(fss.mb_rows):
+            for c in range(fss.mb_cols):
+                block_sads, window = full_search_sads(cur, ref, r * 16, c * 16, 16, p)
+                mv, best = select_minimum(block_sads, window)
+                assert MotionVector(2 * int(dx[r, c]), 2 * int(dy[r, c])) == mv
+                assert int(sads[r, c]) == best
+                assert int(positions[r, c]) == window.num_positions
+
+    def test_flat_plane_ties_resolve_to_zero(self):
+        flat = np.full((48, 64), 90, dtype=np.uint8)
+        dx, dy, sads, _ = select_minima(frame_sad_surfaces(flat, flat, 16, 7))
+        assert (dx == 0).all() and (dy == 0).all() and (sads == 0).all()
+
+    def test_wide_window_beyond_packed_key(self):
+        """p > 31 exceeds the packed tie-break key's 6-bit fields; the
+        per-block fallback must still match select_minimum exactly —
+        tie-heavy content so the tie-break actually decides."""
+        cur, ref = tie_heavy_plane(21, 96, 112), tie_heavy_plane(22, 96, 112)
+        p = 35
+        fss = frame_sad_surfaces(cur, ref, 16, p)
+        dx, dy, sads, _ = select_minima(fss)
+        for r in range(fss.mb_rows):
+            for c in range(fss.mb_cols):
+                block_sads, window = full_search_sads(cur, ref, r * 16, c * 16, 16, p)
+                mv, best = select_minimum(block_sads, window)
+                assert MotionVector(2 * int(dx[r, c]), 2 * int(dy[r, c])) == mv
+                assert int(sads[r, c]) == best
+
+
+# -- refine_half_pel_batch ----------------------------------------------
+
+
+class TestRefineHalfPelBatch:
+    @pytest.mark.parametrize("maker,seed", [(random_plane, 31), (tie_heavy_plane, 32)])
+    def test_matches_per_block_refinement(self, maker, seed):
+        cur, ref = maker(seed), maker(seed + 1)
+        p, s = 7, 16
+        plane = ReferencePlane(ref)
+        fss = frame_sad_surfaces(cur, plane, s, p)
+        dx, dy, sads, _ = select_minima(fss)
+        hx, hy, ref_sads, extra = refine_half_pel_batch(cur, plane, dx, dy, sads, s, p)
+        for r in range(fss.mb_rows):
+            for c in range(fss.mb_cols):
+                window = clamped_window(r * s, c * s, s, s, *ref.shape, p)
+                anchor = MotionVector(2 * int(dx[r, c]), 2 * int(dy[r, c]))
+                block = cur[r * s : (r + 1) * s, c * s : (c + 1) * s]
+                mv, best, evaluated = refine_half_pel(
+                    block, ref, r * s, c * s, anchor, int(sads[r, c]), window
+                )
+                assert MotionVector(int(hx[r, c]), int(hy[r, c])) == mv
+                assert int(ref_sads[r, c]) == best
+                assert int(extra[r, c]) == evaluated
+
+
+# -- evaluate_candidates_batch ------------------------------------------
+
+
+class TestEvaluateCandidatesBatch:
+    def test_matches_sequential_evaluator(self):
+        ref = textured_plane(48, 64, seed=40)
+        cur = shifted_plane(ref, 1, -2)
+        window = SearchWindow(-6, 6, -6, 6)
+        cands = [(-6, -6), (0, 0), (3, -2), (6, 6), (-1, 4)]
+        seq = CandidateEvaluator(cur[16:32, 16:32], ref, 16, 16, window)
+        for dx, dy in cands:
+            seq.evaluate(dx, dy)
+        arr = np.array(cands)
+        sads = evaluate_candidates_batch(
+            cur[16:32, 16:32],
+            ref,
+            np.array([0]),
+            np.array([0]),
+            (16 + arr[:, 1])[None, :],
+            (16 + arr[:, 0])[None, :],
+            16,
+        )[0]
+        for (dx, dy), value in zip(cands, sads.tolist()):
+            assert value == seq._cache[(dx, dy)]
+
+    def test_out_of_plane_marked_invalid(self):
+        ref = random_plane(50, 32, 32)
+        sads = evaluate_candidates_batch(
+            ref, ref, np.array([0]), np.array([0]),
+            np.array([[-1, 0, 17]]), np.array([[0, 0, 0]]), 16,
+        )[0]
+        assert sads[0] == -1 and sads[2] == -1 and sads[1] == 0
+
+    def test_evaluate_many_identical_to_sequential(self):
+        """The batched evaluate_many must leave the evaluator in exactly
+        the state a sequential loop produces (cache, best, count)."""
+        ref = tie_heavy_plane(60)
+        cur = tie_heavy_plane(61)
+        window = SearchWindow(-7, 7, -7, 7)
+        cands = [(0, 0), (2, 2), (-2, 2), (2, -2), (-2, -2), (0, 0), (7, 7), (1, 0)]
+        batched = CandidateEvaluator(cur[16:32, 16:32], ref, 16, 16, window)
+        batched.evaluate_many(cands)
+        sequential = CandidateEvaluator(cur[16:32, 16:32], ref, 16, 16, window)
+        for dx, dy in cands:
+            sequential.evaluate(dx, dy)
+        assert batched._cache == sequential._cache
+        assert batched.positions == sequential.positions
+        assert batched.best() == sequential.best()
+
+    def test_plane_accepted_as_reference(self):
+        ref = textured_plane(48, 64, seed=41)
+        plane = ReferencePlane(ref)
+        ev = CandidateEvaluator(ref[16:32, 16:32], plane, 16, 16, SearchWindow(-2, 2, -2, 2))
+        assert ev.evaluate(0, 0) == 0
+
+
+# -- golden equivalence: estimators and encoder --------------------------
+
+
+def fields_identical(a, b) -> bool:
+    ahx, ahy = a.to_arrays()
+    bhx, bhy = b.to_arrays()
+    return bool(np.array_equal(ahx, bhx) and np.array_equal(ahy, bhy))
+
+
+class TestGoldenEstimators:
+    @pytest.mark.parametrize("half_pel", [True, False])
+    @pytest.mark.parametrize("p", [7, 15])
+    @pytest.mark.parametrize(
+        "maker", [lambda: textured_plane(48, 64, seed=70), lambda: tie_heavy_plane(71)]
+    )
+    def test_fsbm_batch_identical_to_per_block(self, half_pel, p, maker):
+        """The tentpole guarantee: FSBM via the engine's estimate_frame
+        emits bit-identical motion fields, SADs and SearchStats position
+        counts to the seed per-block path."""
+        ref = maker()
+        cur = shifted_plane(ref, 1, 2)
+        batched = FullSearchEstimator(p=p, half_pel=half_pel, use_engine=True)
+        per_block = FullSearchEstimator(p=p, half_pel=half_pel, use_engine=False)
+        field_b, stats_b = batched.estimate(cur, ref)
+        field_s, stats_s = per_block.estimate(cur, ref)
+        assert fields_identical(field_b, field_s)
+        assert stats_b.positions == stats_s.positions
+        assert stats_b.blocks == stats_s.blocks
+        assert stats_b.full_search_blocks == stats_s.full_search_blocks
+
+    def test_fsbm_batch_on_synthetic_sequence(self):
+        """Same guarantee on the paper's synthetic content (real motion,
+        flat and textured regions in one frame)."""
+        from repro.video.synthesis.sequences import make_sequence
+
+        seq = make_sequence("foreman", frames=3, seed=0)
+        batched = FullSearchEstimator(p=15, use_engine=True)
+        per_block = FullSearchEstimator(p=15, use_engine=False)
+        for i in range(1, len(seq)):
+            field_b, stats_b = batched.estimate(seq[i].y, seq[i - 1].y)
+            field_s, stats_s = per_block.estimate(seq[i].y, seq[i - 1].y)
+            assert fields_identical(field_b, field_s)
+            assert stats_b.positions == stats_s.positions
+
+    @pytest.mark.parametrize("name", sorted(available_estimators()))
+    def test_every_estimator_unchanged_by_engine(self, name):
+        """All eight registered searches ride the shared plane and the
+        batched candidate scorer; none may change a single decision."""
+        ref = textured_plane(48, 64, seed=80)
+        cur = shifted_plane(ref, -1, 2)
+        on = create_estimator(name, p=7, use_engine=True)
+        off = create_estimator(name, p=7, use_engine=False)
+        prev = None
+        field_on, stats_on = on.estimate(cur, ref, prev_field=prev)
+        field_off, stats_off = off.estimate(cur, ref, prev_field=prev)
+        assert fields_identical(field_on, field_off)
+        assert stats_on.positions == stats_off.positions
+        assert stats_on.decisions == stats_off.decisions
+
+    def test_encoder_bitstream_unchanged_by_engine(self):
+        """End to end: engine on/off produces byte-identical bitstreams
+        through the closed-loop encoder."""
+        from repro.codec.encoder import encode_sequence
+        from repro.video.synthesis.sequences import make_sequence
+
+        seq = make_sequence("miss_america", frames=3, seed=1)
+        on = encode_sequence(
+            seq, qp=16, estimator="fsbm", estimator_kwargs={"use_engine": True}
+        )
+        off = encode_sequence(
+            seq, qp=16, estimator="fsbm", estimator_kwargs={"use_engine": False}
+        )
+        assert on.bitstream == off.bitstream
+        assert on.mean_psnr_y == off.mean_psnr_y
+        assert on.search_stats.positions == off.search_stats.positions
+
+    def test_activity_map_matches_scalar_intra_sad(self):
+        """The Fig. 4 rig now takes Intra_SAD from the vectorized
+        activity map; it must agree with the scalar definition on every
+        block (same float64 arithmetic, same values)."""
+        from repro.me.metrics import block_activity_map, intra_sad
+
+        plane = textured_plane(48, 64, seed=90)
+        amap = block_activity_map(plane, 16)
+        for r in range(3):
+            for c in range(4):
+                scalar = intra_sad(plane[16 * r : 16 * r + 16, 16 * c : 16 * c + 16])
+                assert amap[r, c] == pytest.approx(scalar, rel=1e-12, abs=1e-9)

@@ -4,6 +4,7 @@ Executed as subprocesses (the way users run them) with reduced
 workloads so the suite stays fast.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,14 +12,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name, *args, timeout=240):
+    # The examples import `repro`; make the src/ layout visible even
+    # when the suite itself found it via pytest's pythonpath setting
+    # rather than an exported PYTHONPATH.
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 
