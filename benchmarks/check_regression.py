@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares freshly recorded ``BENCH_*.json`` files (repo root by default,
+where the benchmark suites write them) against the committed baselines
+in ``benchmarks/baselines/`` and fails when any kernel regressed by
+more than the threshold (default 25%).
+
+Key classification, shared with the benchmark writers:
+
+* keys containing ``speedup`` are batched-vs-per-block ratios —
+  **higher** is better; a fresh value below
+  ``baseline / (1 + threshold)`` is a regression.  These gate by
+  default: both paths run on the same machine in the same job, so the
+  ratio is robust across differently-sized runners — a batched kernel
+  that got slower drops the ratio no matter how fast the runner is.
+  The committed ratio baselines are deliberately **conservative
+  floors** (below any measured machine, above the benches' own hard
+  asserts), not peak-machine snapshots — ``--update`` adopts the
+  measured values verbatim, so trim the ``speedup`` keys back toward a
+  floor before committing a refresh from a fast machine;
+* keys ending in ``_ms`` are absolute timings — **lower** is better.
+  They are reported (and kept in the baselines for trend reading) but
+  only gate with ``--gate-absolute``, because a committed wall-clock
+  number from one machine is noise on another;
+* anything else is reported but never gates.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # gate (CI)
+    python benchmarks/check_regression.py --gate-absolute # same-machine gate
+    python benchmarks/check_regression.py --threshold 0.5 # looser gate
+    python benchmarks/check_regression.py --update        # refresh baselines
+
+Exit status: 0 when every gated key is within threshold, 1 on any
+regression or missing fresh record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Keys gated as lower-is-better / higher-is-better.
+LOWER_IS_BETTER_SUFFIX = "_ms"
+HIGHER_IS_BETTER_MARKER = "speedup"
+
+
+def classify(key: str) -> str | None:
+    """'lower', 'higher' or None (informational only)."""
+    if key.endswith(LOWER_IS_BETTER_SUFFIX):
+        return "lower"
+    if HIGHER_IS_BETTER_MARKER in key:
+        return "higher"
+    return None
+
+
+def load(path: Path) -> dict[str, float]:
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"error: {path} must hold a flat JSON object")
+    return data
+
+
+def compare_file(
+    name: str,
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    threshold: float,
+    gate_absolute: bool,
+) -> list[str]:
+    """Print a per-key report; return the regression messages."""
+    failures: list[str] = []
+    print(f"\n== {name} (threshold {threshold:.0%}) ==")
+    width = max((len(k) for k in baseline), default=10)
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in fresh:
+            failures.append(f"{name}: key '{key}' missing from fresh record")
+            print(f"  {key:<{width}}  baseline {base:10.3f}  fresh    MISSING  ** FAIL")
+            continue
+        new = float(fresh[key])
+        kind = classify(key)
+        gates = kind == "higher" or (kind == "lower" and gate_absolute)
+        if kind is None or base <= 0:
+            print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {new:10.3f}  (info)")
+            continue
+        ratio = new / base
+        if kind == "lower":
+            bad = gates and ratio > 1.0 + threshold
+        else:
+            bad = gates and ratio < 1.0 / (1.0 + threshold)
+        direction = f"{ratio - 1.0:+8.1%}"
+        status = "** FAIL" if bad else ("ok" if gates else "info")
+        print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {new:10.3f}  {direction}  {status}")
+        if bad:
+            failures.append(
+                f"{name}: '{key}' regressed {'above' if kind == 'lower' else 'below'} "
+                f"threshold (baseline {base:.3f}, fresh {new:.3f})"
+            )
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"  {key:<{width}}  (new key, no baseline — run with --update to adopt)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=BASELINE_DIR,
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the freshly recorded BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="allowed relative slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--gate-absolute", action="store_true",
+        help="also gate absolute _ms timings (only meaningful when fresh "
+        "records and baselines come from the same machine)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="overwrite the baselines with the fresh records and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        updated = 0
+        for fresh_path in sorted(args.fresh_dir.glob("BENCH_*.json")):
+            target = args.baseline_dir / fresh_path.name
+            target.write_text(
+                json.dumps(load(fresh_path), indent=2, sort_keys=True) + "\n"
+            )
+            print(f"baseline updated: {target}")
+            updated += 1
+        if not updated:
+            print(f"error: no fresh BENCH_*.json under {args.fresh_dir}", file=sys.stderr)
+            return 1
+        return 0
+
+    baseline_files = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    for baseline_path in baseline_files:
+        fresh_path = args.fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            failures.append(f"{baseline_path.name}: fresh record missing ({fresh_path})")
+            print(f"\n== {baseline_path.name} ==\n  fresh record MISSING — did the bench run?")
+            continue
+        failures.extend(
+            compare_file(
+                baseline_path.name,
+                load(baseline_path),
+                load(fresh_path),
+                args.threshold,
+                args.gate_absolute,
+            )
+        )
+
+    print()
+    if failures:
+        print(f"REGRESSION GATE FAILED ({len(failures)} issue(s)):", file=sys.stderr)
+        for message in failures:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

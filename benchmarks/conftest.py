@@ -15,10 +15,21 @@ throughput experiments, not microbenchmarks.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.video.synthesis.sequences import make_sequence
+
+#: Repository root — all ``BENCH_*.json`` writers resolve against this,
+#: so running pytest from a subdirectory doesn't scatter JSON files
+#: around the working directory.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_output_path(name: str) -> Path:
+    """Absolute path for a benchmark record file (repo root)."""
+    return REPO_ROOT / name
 
 
 def bench_frames() -> int:

@@ -1,9 +1,23 @@
 """Decoder for the encoder's bitstream.
 
-Exists for verification: the integration tests assert that decoding the
-emitted bitstream reproduces the encoder's reconstruction *exactly*
-(bit-exact closed loop), which pins down every VLC table, quantizer
-rounding rule and motion-compensation path on both sides.
+Exists for verification *and* as the serving-side half of the codec:
+the integration tests assert that decoding the emitted bitstream
+reproduces the encoder's reconstruction *exactly* (bit-exact closed
+loop), which pins down every VLC table, quantizer rounding rule and
+motion-compensation path on both sides.
+
+Two reconstruction paths produce identical frames:
+
+* the **batched engine path** (default) parses each picture's symbols
+  in one sequential pass, then reconstructs the whole frame in batched
+  NumPy — one IDCT over every block, whole-frame luma/chroma motion
+  compensation through :class:`~repro.me.engine.ReferencePlane` /
+  :class:`~repro.me.engine.ChromaReferencePlane` caches, one batched
+  residual add + clamp per plane;
+* the **per-block path** (``use_engine=False``) is the seed decoder
+  loop, kept as the bit-exactness reference.
+
+``tests/test_reconstruction.py`` proves the two paths bit-identical.
 """
 
 from __future__ import annotations
@@ -23,7 +37,17 @@ from repro.codec.macroblock import (
     read_events,
 )
 from repro.codec.mv_coding import predict_mv, read_mvd
+from repro.codec.quantizer import dequantize, dequantize_intra_dc
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
+from repro.codec.zigzag import events_to_block
+from repro.me.engine import (
+    ChromaReferencePlane,
+    ReferencePlane,
+    add_residual_clip,
+    frame_mc_luma,
+    tile_blocks,
+    tile_luma_blocks,
+)
 from repro.me.subpel import predict_block
 from repro.me.types import MotionField, MotionVector
 from repro.video.frame import Frame, FrameGeometry
@@ -44,12 +68,23 @@ class PictureHeader:
 
 class Decoder:
     """Stateful decoder: feed it one bitstream, pull frames until
-    exhaustion."""
+    exhaustion.
 
-    def __init__(self, bitstream: bytes) -> None:
+    Parameters
+    ----------
+    bitstream:
+        The encoder's emitted bytes.
+    use_engine:
+        ``True`` (default) reconstructs each frame through the batched
+        engine kernels; ``False`` forces the seed per-block loop.  Both
+        paths are bit-identical.
+    """
+
+    def __init__(self, bitstream: bytes, use_engine: bool = True) -> None:
         self._reader = BitReader(bitstream)
         self._reference: Frame | None = None
         self._frame_index = 0
+        self._use_engine = bool(use_engine)
 
     @property
     def has_more(self) -> bool:
@@ -73,28 +108,64 @@ class Decoder:
     def decode_frame(self) -> Frame:
         header = self._read_header()
         if header.frame_type == "I":
-            frame = self._decode_intra(header)
+            if self._use_engine:
+                frame = self._decode_intra_batched(header)
+            else:
+                frame = self._decode_intra_per_block(header)
         else:
             if self._reference is None:
                 raise ValueError("P-frame without a decoded reference")
-            frame = self._decode_inter(header)
+            if self._use_engine:
+                frame = self._decode_inter_batched(header)
+            else:
+                frame = self._decode_inter_per_block(header)
         self._reference = frame
         self._frame_index += 1
         return frame
 
-    # -- frame types -----------------------------------------------------
+    # -- shared symbol parsing -------------------------------------------
 
-    def _decode_intra(self, header: PictureHeader) -> Frame:
+    def _read_coded_flags(self) -> list[bool]:
+        """MCBPC + CBPY → the six per-block coded flags (Y0..Y3, Cb, Cr)."""
+        mcbpc = MCBPC_TABLE.decode(self._reader)
+        cbpy = CBPY_TABLE.decode(self._reader)
+        coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
+        coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
+        return coded_flags
+
+    # -- intra frames ----------------------------------------------------
+
+    def _decode_intra_batched(self, header: PictureHeader) -> Frame:
+        """Parse every intra block's symbols, then dequantize, IDCT and
+        round/clamp the whole frame in one batched pass each."""
+        rows, cols = header.mb_rows, header.mb_cols
+        levels = np.zeros((rows * cols * 6, 8, 8), dtype=np.int64)
+        dc_levels = np.empty(rows * cols * 6, dtype=np.int64)
+        k = 0
+        for _ in range(rows * cols):
+            coded_flags = self._read_coded_flags()
+            for coded in coded_flags:
+                dc_levels[k] = self._reader.read_bits(8)
+                if coded:
+                    levels[k] = events_to_block(read_events(self._reader), skip_first=1)
+                k += 1
+        coefficients = dequantize(levels, header.qp)
+        coefficients[:, 0, 0] = dequantize_intra_dc(dc_levels)
+        coefficients = coefficients.reshape(rows, cols, 6, 8, 8)
+        pixels = np.clip(np.rint(inverse_dct(coefficients)), 0, 255).astype(np.uint8)
+        y = tile_luma_blocks(pixels[:, :, :4])
+        cb = tile_blocks(pixels[:, :, 4])
+        cr = tile_blocks(pixels[:, :, 5])
+        return Frame(y, cb, cr, index=self._frame_index)
+
+    def _decode_intra_per_block(self, header: PictureHeader) -> Frame:
         g = header.geometry
         y = np.empty((g.height, g.width), dtype=np.uint8)
         cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
         cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
         for r in range(header.mb_rows):
             for c in range(header.mb_cols):
-                mcbpc = MCBPC_TABLE.decode(self._reader)
-                cbpy = CBPY_TABLE.decode(self._reader)
-                coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
-                coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
+                coded_flags = self._read_coded_flags()
                 blocks = []
                 for coded in coded_flags:
                     dc_level = self._reader.read_bits(8)
@@ -107,7 +178,48 @@ class Decoder:
                 cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[5]
         return Frame(y, cb, cr, index=self._frame_index)
 
-    def _decode_inter(self, header: PictureHeader) -> Frame:
+    # -- inter frames ----------------------------------------------------
+
+    def _decode_inter_batched(self, header: PictureHeader) -> Frame:
+        """Sequential symbol parse, then whole-frame reconstruction.
+
+        Skipped macroblocks fold into the batched path naturally: their
+        vector is zero (the motion compensation degenerates to the
+        reference slice) and their residual coefficients stay zero, so
+        ``rint(0 + pred)`` reproduces the reference copy bit-for-bit.
+        """
+        g = header.geometry
+        ref = self._reference
+        if ref.geometry != g:
+            raise ValueError(f"geometry change mid-stream: {ref.geometry} → {g}")
+        rows, cols = header.mb_rows, header.mb_cols
+        coded_field = MotionField(rows, cols)
+        levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+        for r in range(rows):
+            for c in range(cols):
+                if self._reader.read_bit():  # COD = 1: skipped
+                    coded_field.set(r, c, MotionVector.zero())
+                    continue
+                coded_flags = self._read_coded_flags()
+                predictor = predict_mv(coded_field, r, c)
+                mv = read_mvd(self._reader, predictor)
+                coded_field.set(r, c, mv)
+                for k, coded in enumerate(coded_flags):
+                    if coded:
+                        levels[r, c, k] = events_to_block(read_events(self._reader))
+        coefficients = dequantize(levels, header.qp)
+        hx, hy = coded_field.to_arrays()
+        plane = ReferencePlane(ref.y)
+        chroma = ChromaReferencePlane(ref.cb, ref.cr)
+        pred_y = frame_mc_luma(plane, hx, hy)
+        pred_cb, pred_cr = chroma.mc_frame(hx, hy, header.p)
+        residual = inverse_dct(coefficients)
+        y = add_residual_clip(pred_y, tile_luma_blocks(residual[:, :, :4]))
+        cb = add_residual_clip(pred_cb, tile_blocks(residual[:, :, 4]))
+        cr = add_residual_clip(pred_cr, tile_blocks(residual[:, :, 5]))
+        return Frame(y, cb, cr, index=self._frame_index)
+
+    def _decode_inter_per_block(self, header: PictureHeader) -> Frame:
         g = header.geometry
         ref = self._reference
         if ref.geometry != g:
@@ -127,13 +239,10 @@ class Decoder:
                     cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cb[cy0 : cy0 + 8, cx0 : cx0 + 8]
                     cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cr[cy0 : cy0 + 8, cx0 : cx0 + 8]
                     continue
-                mcbpc = MCBPC_TABLE.decode(self._reader)
-                cbpy = CBPY_TABLE.decode(self._reader)
+                coded_flags = self._read_coded_flags()
                 predictor = predict_mv(coded_field, r, c)
                 mv = read_mvd(self._reader, predictor)
                 coded_field.set(r, c, mv)
-                coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
-                coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
                 blocks = []
                 for coded in coded_flags:
                     events = read_events(self._reader) if coded else []
@@ -154,7 +263,9 @@ class Decoder:
         return Frame(y, cb, cr, index=self._frame_index)
 
 
-def decode_bitstream(bitstream: bytes, frames: int | None = None) -> list[Frame]:
+def decode_bitstream(
+    bitstream: bytes, frames: int | None = None, use_engine: bool = True
+) -> list[Frame]:
     """Decode ``frames`` pictures (or all that fit) from a bitstream.
 
     >>> from repro.video.synthesis.sequences import make_sequence
@@ -165,7 +276,7 @@ def decode_bitstream(bitstream: bytes, frames: int | None = None) -> list[Frame]
     >>> all(d == r for d, r in zip(decoded, result.reconstruction))
     True
     """
-    decoder = Decoder(bitstream)
+    decoder = Decoder(bitstream, use_engine=use_engine)
     out: list[Frame] = []
     while decoder.has_more and (frames is None or len(out) < frames):
         out.append(decoder.decode_frame())

@@ -33,7 +33,7 @@ from repro.codec.macroblock import (
 from repro.codec.quantizer import check_qp
 from repro.codec.mv_coding import predict_mv, write_mvd
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
-from repro.me.engine import ReferencePlane
+from repro.me.engine import ChromaReferencePlane, ReferencePlane, frame_mc_luma
 from repro.me.estimator import MotionEstimator, create_estimator
 from repro.me.stats import SearchStats
 from repro.me.subpel import predict_block
@@ -136,6 +136,14 @@ class Encoder:
     keep_reconstruction:
         Store reconstructed frames on the result (handy for analysis,
         off for large sweeps to save memory).
+    use_engine:
+        ``True`` (default) runs the local reconstruction loop's motion
+        compensation whole-frame through the shared
+        :class:`ReferencePlane` / :class:`ChromaReferencePlane` caches;
+        ``False`` forces the seed per-block prediction calls.  Both
+        paths emit byte-identical bitstreams (this flag is independent
+        of the estimator's own ``use_engine``, which governs the
+        *search*).
     """
 
     def __init__(
@@ -144,6 +152,7 @@ class Encoder:
         qp: int = 16,
         estimator_kwargs: dict | None = None,
         keep_reconstruction: bool = True,
+        use_engine: bool = True,
     ) -> None:
         self.qp = check_qp(qp)
         if isinstance(estimator, str):
@@ -152,6 +161,7 @@ class Encoder:
             raise ValueError("estimator_kwargs only applies when estimator is a name")
         self.estimator = estimator
         self.keep_reconstruction = keep_reconstruction
+        self.use_engine = use_engine
 
     # -- public API ----------------------------------------------------
 
@@ -283,6 +293,19 @@ class Encoder:
         mv_bits_total = 0
         coef_bits_total = 0
         luma_ref = plane if plane is not None else reference.y
+        # Whole-frame motion compensation up front: the field is fully
+        # decided before reconstruction, so the engine path predicts
+        # all three planes in three batched gathers (the chroma
+        # half-pel interpolation runs once per frame instead of twice
+        # per macroblock) and the loop below just slices them.
+        engine = self.use_engine and plane is not None and field.is_complete
+        if engine:
+            chroma = ChromaReferencePlane.wrap(reference.cb, reference.cr)
+            engine = chroma is not None
+        if engine:
+            field_hx, field_hy = field.to_arrays()
+            pred_y_plane = frame_mc_luma(plane, field_hx, field_hy)
+            pred_cb_plane, pred_cr_plane = chroma.mc_frame(field_hx, field_hy, self.estimator.p)
         for r in range(geometry.mb_rows):
             for c in range(geometry.mb_cols):
                 mv = field.get(r, c)
@@ -290,13 +313,18 @@ class Encoder:
                     raise ValueError(f"motion field missing entry ({r}, {c})")
                 y0, x0 = 16 * r, 16 * c
                 cy0, cx0 = 8 * r, 8 * c
-                pred_y = predict_block(luma_ref, y0, x0, mv, 16, 16).astype(np.float64)
-                pred_cb = predict_chroma_block(
-                    reference.cb, cy0, cx0, mv, self.estimator.p
-                ).astype(np.float64)
-                pred_cr = predict_chroma_block(
-                    reference.cr, cy0, cx0, mv, self.estimator.p
-                ).astype(np.float64)
+                if engine:
+                    pred_y = pred_y_plane[y0 : y0 + 16, x0 : x0 + 16].astype(np.float64)
+                    pred_cb = pred_cb_plane[cy0 : cy0 + 8, cx0 : cx0 + 8].astype(np.float64)
+                    pred_cr = pred_cr_plane[cy0 : cy0 + 8, cx0 : cx0 + 8].astype(np.float64)
+                else:
+                    pred_y = predict_block(luma_ref, y0, x0, mv, 16, 16).astype(np.float64)
+                    pred_cb = predict_chroma_block(
+                        reference.cb, cy0, cx0, mv, self.estimator.p
+                    ).astype(np.float64)
+                    pred_cr = predict_chroma_block(
+                        reference.cr, cy0, cx0, mv, self.estimator.p
+                    ).astype(np.float64)
                 cur_y = frame.luma_block(r, c).astype(np.float64)
                 cur_cb, cur_cr = frame.chroma_blocks(r, c)
                 residual = np.concatenate(
@@ -345,6 +373,7 @@ def encode_sequence(
     estimator: MotionEstimator | str = "acbm",
     estimator_kwargs: dict | None = None,
     keep_reconstruction: bool = False,
+    use_engine: bool = True,
 ) -> EncodeResult:
     """One-call convenience wrapper around :class:`Encoder`.
 
@@ -359,5 +388,6 @@ def encode_sequence(
         qp=qp,
         estimator_kwargs=estimator_kwargs,
         keep_reconstruction=keep_reconstruction,
+        use_engine=use_engine,
     )
     return encoder.encode(sequence)

@@ -29,6 +29,7 @@ from repro.codec.vlc_tables import (
     tcoef_symbol,
 )
 from repro.codec.zigzag import CoefficientEvent, block_to_events, events_to_block
+from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.search_window import clamped_window, half_pel_window
 from repro.me.subpel import half_pel_block
 from repro.me.types import MotionVector
@@ -68,7 +69,7 @@ def chroma_mv(mv: MotionVector) -> MotionVector:
 
 
 def predict_chroma_block(
-    ref_plane: np.ndarray,
+    ref_plane: np.ndarray | ReferencePlane,
     block_y: int,
     block_x: int,
     luma_mv: MotionVector,
@@ -80,6 +81,12 @@ def predict_chroma_block(
     window (the derivation's away-from-zero rounding can exceed the
     luma-implied support by one half-pel at the frame border).  Both
     encoder and decoder call this, so clamping stays in sync.
+
+    ``ref_plane`` may be a raw chroma array (per-candidate
+    interpolation, the seed path) or a wrapped
+    :class:`~repro.me.engine.reference_plane.ReferencePlane` — e.g. one
+    side of a :class:`~repro.me.engine.chroma_plane.ChromaReferencePlane`
+    — which reads the same samples from its per-frame half-pel cache.
     """
     c_mv = chroma_mv(luma_mv)
     window = clamped_window(
@@ -88,6 +95,8 @@ def predict_chroma_block(
     hwin = half_pel_window(window)
     hx = min(max(c_mv.hx, hwin.dx_min), hwin.dx_max)
     hy = min(max(c_mv.hy, hwin.dy_min), hwin.dy_max)
+    if isinstance(ref_plane, ReferencePlane):
+        return ref_plane.block(2 * block_y + hy, 2 * block_x + hx, 8, 8)
     return half_pel_block(ref_plane, 2 * block_y + hy, 2 * block_x + hx, 8, 8)
 
 

@@ -1,0 +1,131 @@
+"""Whole-frame decode throughput: batched reconstruction vs per-block.
+
+Not a paper table — this is the serving-side counterpart of the kernel
+benchmarks: encode a clip once, then decode the emitted bitstream
+through both reconstruction paths (the engine's batched kernels and the
+seed per-block loop) and report the speedup.  The run always verifies
+bit-identity first (both decodes against each other *and* against the
+encoder's closed-loop reconstruction), so a reported speedup can never
+come from a path that changed the pixels.
+
+``repro.experiments.runner decode-bench`` exposes this as a CLI mode;
+``benchmarks/test_bench_decode.py`` records the numbers to
+``BENCH_decode.json`` for CI's regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.codec.decoder import decode_bitstream
+from repro.codec.encoder import encode_sequence
+from repro.video.synthesis.sequences import make_sequence
+
+
+@dataclass(frozen=True)
+class DecodeBenchResult:
+    """One decode benchmark's outcome."""
+
+    sequence: str
+    frames: int
+    qp: int
+    estimator: str
+    bitstream_bytes: int
+    per_block_ms: float
+    batched_ms: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.per_block_ms / self.batched_ms
+
+    def records(self) -> dict[str, float]:
+        """The machine-readable payload for ``BENCH_decode.json`` —
+        timing keys end in ``_ms`` (lower is better), ratio keys contain
+        ``speedup`` (higher is better), matching the regression gate's
+        key classification."""
+        return {
+            "decode_per_block_ms": self.per_block_ms,
+            "decode_batched_ms": self.batched_ms,
+            "decode_speedup": self.speedup,
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"decode bench: {self.sequence}, {self.frames} frames, qp={self.qp}, "
+            f"{self.estimator}, {self.bitstream_bytes} bytes\n"
+            f"  bit-identical (batched == per-block == encoder loop): {self.identical}\n"
+            f"  per-block {self.per_block_ms:.1f} ms, batched {self.batched_ms:.1f} ms "
+            f"-> speedup {self.speedup:.2f}x"
+        )
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_decode_bench(
+    sequence: str = "foreman",
+    frames: int = 9,
+    qp: int = 16,
+    estimator: str = "fsbm",
+    seed: int = 0,
+    rounds: int = 3,
+    encode=None,
+) -> DecodeBenchResult:
+    """Encode ``frames`` of a synthetic clip, then time both decode
+    paths over the same bitstream (best of ``rounds``).
+
+    Pass a prebuilt ``EncodeResult`` (with ``keep_reconstruction=True``
+    and matching parameters) via ``encode`` to skip the encode — the
+    benchmark suite reuses one shared encode across its tests.
+    """
+    if encode is None:
+        clip = make_sequence(sequence, frames=frames, seed=seed)
+        encode = encode_sequence(clip, qp=qp, estimator=estimator, keep_reconstruction=True)
+    elif not encode.reconstruction:
+        raise ValueError("prebuilt encode needs keep_reconstruction=True for bit-identity checks")
+    else:
+        sequence, qp, estimator = encode.name, encode.qp, encode.estimator_name
+        frames = len(encode.reconstruction)
+    bitstream = encode.bitstream
+    batched = decode_bitstream(bitstream, use_engine=True)
+    per_block = decode_bitstream(bitstream, use_engine=False)
+    identical = (
+        len(batched) == len(per_block) == len(encode.reconstruction)
+        and all(b == s for b, s in zip(batched, per_block))
+        and all(b == r for b, r in zip(batched, encode.reconstruction))
+    )
+    batched_s = _best_of(lambda: decode_bitstream(bitstream, use_engine=True), rounds)
+    per_block_s = _best_of(lambda: decode_bitstream(bitstream, use_engine=False), rounds)
+    return DecodeBenchResult(
+        sequence=sequence,
+        frames=frames,
+        qp=qp,
+        estimator=estimator,
+        bitstream_bytes=len(bitstream),
+        per_block_ms=per_block_s * 1000.0,
+        batched_ms=batched_s * 1000.0,
+        identical=identical,
+    )
+
+
+def write_records(records: dict[str, float], path: Path) -> None:
+    """Merge ``records`` into the JSON file at ``path`` (the same
+    update-in-place convention as ``BENCH_kernels.json``)."""
+    existing: dict[str, float] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(records)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

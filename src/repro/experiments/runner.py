@@ -7,9 +7,12 @@ Usage::
     python -m repro.experiments.runner fig6 --frames 21
     python -m repro.experiments.runner table1 --frames 21 --qps 30 22 16
     python -m repro.experiments.runner all
+    python -m repro.experiments.runner decode-bench --frames 9 --json BENCH_decode.json
 
-Each subcommand prints the same rows/series the corresponding paper
-table or figure reports.
+Each paper subcommand prints the same rows/series the corresponding
+table or figure reports; ``decode-bench`` runs an encode→decode round
+trip and times the batched reconstruction path against the seed
+per-block decoder (bit-identity verified first).
 """
 
 from __future__ import annotations
@@ -17,9 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.reporting import format_histogram
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.decode_bench import run_decode_bench, write_records
 from repro.experiments.fig4_characterization import run_fig4
 from repro.experiments.rd_curves import run_rd_sweep
 from repro.experiments.table1_complexity import run_table1
@@ -61,6 +66,34 @@ def cmd_table1(args: argparse.Namespace) -> None:
     table = run_table1(config, progress=_progress if args.verbose else None)
     print(table.as_text())
     print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
+
+
+def cmd_decode_bench(args: argparse.Namespace) -> int:
+    # The common --sequences/--qps options are multi-valued for the
+    # sweep commands; this bench times exactly one configuration.
+    if args.sequences and len(args.sequences) > 1:
+        print("error: decode-bench takes a single --sequences value", file=sys.stderr)
+        return 2
+    if args.qps and len(args.qps) > 1:
+        print("error: decode-bench takes a single --qps value", file=sys.stderr)
+        return 2
+    result = run_decode_bench(
+        sequence=(args.sequences or ["foreman"])[0],
+        frames=args.frames,
+        qp=(args.qps or [16])[0],
+        estimator=args.estimator,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    print(result.as_text())
+    if args.json:
+        path = Path(args.json)
+        write_records(result.records(), path)
+        print(f"recorded -> {path}", file=sys.stderr)
+    if not result.identical:
+        print("ERROR: decode paths disagree (batched != per-block)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -109,6 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig6", parents=[common], help="Fig. 6 RD curves, QCIF @ 10 fps")
     sub.add_parser("table1", parents=[common], help="Table 1 search-cost table")
     sub.add_parser("all", parents=[common], help="everything, sharing one sweep")
+    decode = sub.add_parser(
+        "decode-bench", parents=[common],
+        help="encode→decode round trip timing batched vs per-block reconstruction",
+    )
+    decode.add_argument(
+        "--estimator", default="fsbm", metavar="NAME",
+        help="registry name of the search used for the encode (default fsbm)",
+    )
+    decode.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="timing repetitions per path, best-of (default 3)",
+    )
+    decode.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="merge the timings into this JSON file (e.g. BENCH_decode.json)",
+    )
     return parser
 
 
@@ -124,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
         cmd_table1(args)
     elif args.command == "all":
         cmd_all(args)
+    elif args.command == "decode-bench":
+        return cmd_decode_bench(args)
     return 0
 
 

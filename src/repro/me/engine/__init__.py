@@ -20,11 +20,25 @@ candidate evaluation; this package is that engine:
   for many blocks in one gather, used by the fast searches'
   :class:`repro.me.candidates.CandidateEvaluator`.
 
+The reconstruction side gets the same treatment
+(:mod:`repro.me.engine.reconstruction` and
+:mod:`repro.me.engine.chroma_plane`):
+
+* :class:`ChromaReferencePlane` — the Cb/Cr planes with their half-pel
+  caches, shared by the encoder's closed loop and the decoder.
+* :func:`frame_mc_luma` / :func:`frame_mc_chroma` — whole-frame motion
+  compensation in one gather (chroma includes the H.263 vector
+  derivation and border clamping).
+* :func:`tile_luma_blocks` / :func:`tile_blocks` /
+  :func:`add_residual_clip` — batched residual reassembly, rounding and
+  clamping back to stored ``uint8`` planes.
+
 Everything in here is *bit-exact* with the per-block reference
-implementations it replaces; ``tests/test_engine.py`` holds the golden
-equivalence proofs.
+implementations it replaces; ``tests/test_engine.py`` and
+``tests/test_reconstruction.py`` hold the golden equivalence proofs.
 """
 
+from repro.me.engine.chroma_plane import ChromaReferencePlane
 from repro.me.engine.kernels import (
     SURFACE_SENTINEL,
     FrameSadSurfaces,
@@ -34,15 +48,30 @@ from repro.me.engine.kernels import (
     select_minima,
     supports_vectorized_search,
 )
+from repro.me.engine.reconstruction import (
+    add_residual_clip,
+    chroma_mv_grids,
+    frame_mc_chroma,
+    frame_mc_luma,
+    tile_blocks,
+    tile_luma_blocks,
+)
 from repro.me.engine.reference_plane import ReferencePlane
 
 __all__ = [
     "SURFACE_SENTINEL",
+    "ChromaReferencePlane",
     "FrameSadSurfaces",
     "ReferencePlane",
+    "add_residual_clip",
+    "chroma_mv_grids",
     "evaluate_candidates_batch",
+    "frame_mc_chroma",
+    "frame_mc_luma",
     "frame_sad_surfaces",
     "refine_half_pel_batch",
     "select_minima",
     "supports_vectorized_search",
+    "tile_blocks",
+    "tile_luma_blocks",
 ]

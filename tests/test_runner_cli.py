@@ -8,9 +8,18 @@ from repro.experiments.runner import build_parser, main
 class TestParser:
     def test_subcommands_exist(self):
         parser = build_parser()
-        for command in ("fig4", "fig5", "fig6", "table1", "all"):
+        for command in ("fig4", "fig5", "fig6", "table1", "all", "decode-bench"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_decode_bench_options(self):
+        args = build_parser().parse_args(
+            ["decode-bench", "--frames", "2", "--rounds", "1", "--json", "out.json"]
+        )
+        assert args.frames == 2
+        assert args.rounds == 1
+        assert args.json == "out.json"
+        assert args.estimator == "fsbm"
 
     def test_common_options_after_command(self):
         args = build_parser().parse_args(["table1", "--frames", "9", "--seed", "3"])
@@ -48,3 +57,24 @@ class TestMain:
         out = capsys.readouterr().out
         assert "miss_america" in out
         assert "acbm" in out and "fsbm" in out and "pbm" in out
+
+    def test_decode_bench_small_run(self, capsys, tmp_path):
+        """A 2-frame encode→decode round trip: verifies bit-identity,
+        prints a speedup and records the JSON payload."""
+        import json
+
+        out_path = tmp_path / "BENCH_decode.json"
+        argv = [
+            "decode-bench", "--frames", "2", "--sequences", "miss_america",
+            "--rounds", "1", "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out and "True" in out
+        assert "speedup" in out
+        records = json.loads(out_path.read_text())
+        assert set(records) == {
+            "decode_per_block_ms", "decode_batched_ms", "decode_speedup",
+        }
+        assert records["decode_per_block_ms"] > 0
+        assert records["decode_batched_ms"] > 0
