@@ -23,7 +23,15 @@ Key classification, shared with the benchmark writers:
   They are reported (and kept in the baselines for trend reading) but
   only gate with ``--gate-absolute``, because a committed wall-clock
   number from one machine is noise on another;
-* anything else is reported but never gates.
+* anything else (``machine_*`` descriptors and other metadata) is
+  reported but never gates.
+
+One machine-shaped exception: ``parallel_*`` speedup keys compare a
+multi-process run against a serial one, which only makes sense with
+parallel hardware underneath — when the fresh record says
+``machine_cpu_count < 2`` they are reported as info instead of gated
+(``benchmarks/test_bench_parallel.py`` applies the same rule to its
+own hard assert).
 
 Usage::
 
@@ -81,6 +89,7 @@ def compare_file(
     failures: list[str] = []
     print(f"\n== {name} (threshold {threshold:.0%}) ==")
     width = max((len(k) for k in baseline), default=10)
+    single_core = float(fresh.get("machine_cpu_count", 2)) < 2
     for key in sorted(baseline):
         base = baseline[key]
         if key not in fresh:
@@ -90,6 +99,8 @@ def compare_file(
         new = float(fresh[key])
         kind = classify(key)
         gates = kind == "higher" or (kind == "lower" and gate_absolute)
+        if gates and single_core and key.startswith("parallel_"):
+            gates = False  # multi-worker vs serial is meaningless on one core
         if kind is None or base <= 0:
             print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {new:10.3f}  (info)")
             continue

@@ -1,0 +1,121 @@
+"""Orchestration-layer benchmark: serial vs 2-worker RD sweep.
+
+Times the same ACBM sweep through ``repro.parallel`` with ``jobs=1``
+(the in-process fallback — identical to the seed serial loop) and
+``jobs=2`` (spawned workers), verifies the reports are byte-identical,
+and records the wall clocks plus the speedup to ``BENCH_parallel.json``
+for CI's regression gate.
+
+The speedup is machine-shaped: on a multi-core runner two workers
+should land well above 1x; on a single-core container it sits *below*
+1x (spawn + import overhead with no parallel hardware underneath), so
+the hard assertion and the regression gate both key on the recorded
+``machine_cpu_count``.  Also records the ring-batched fast-search
+driver's frame throughput against its per-block fallback.
+"""
+
+import os
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.decode_bench import write_records
+from repro.experiments.rd_curves import run_rd_sweep
+from repro.me.estimator import create_estimator
+from repro.parallel import clear_render_cache
+
+import pytest
+
+from .conftest import bench_frames, bench_output_path
+
+#: Flushed to BENCH_parallel.json when the module finishes.
+_RECORDS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_parallel_records():
+    yield
+    if _RECORDS:
+        _RECORDS["machine_cpu_count"] = float(os.cpu_count() or 1)
+        write_records(_RECORDS, bench_output_path("BENCH_parallel.json"))
+
+
+@pytest.fixture(scope="module")
+def sweep_config():
+    return ExperimentConfig(
+        sequences=("miss_america", "foreman"),
+        qps=(30, 16),
+        fps_list=(30,),
+        frames=bench_frames(),
+    )
+
+
+def test_parallel_sweep_speedup_and_identity(sweep_config):
+    """The tentpole claim: a 2-worker sweep is byte-identical to the
+    serial one, and faster whenever the machine has >= 2 cores."""
+    # Like-for-like legs: neither side starts with pre-rendered
+    # sources (the CLI's situation), so the serial leg pays its two
+    # renders in-process and each worker pays its own — clear the
+    # process memo in case an earlier bench in this session filled it.
+    clear_render_cache()
+    started = time.perf_counter()
+    serial = run_rd_sweep(sweep_config, estimators=("acbm",), jobs=1)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_rd_sweep(sweep_config, estimators=("acbm",), jobs=2)
+    parallel_s = time.perf_counter() - started
+
+    assert parallel.cells == serial.cells
+    assert parallel.as_text(30) == serial.as_text(30)
+
+    speedup = serial_s / parallel_s
+    _RECORDS["parallel_serial_sweep_ms"] = serial_s * 1000.0
+    _RECORDS["parallel_jobs2_sweep_ms"] = parallel_s * 1000.0
+    _RECORDS["parallel_sweep_speedup"] = speedup
+    cores = os.cpu_count() or 1
+    print(
+        f"\nparallel sweep: serial {serial_s:.2f}s, jobs=2 {parallel_s:.2f}s "
+        f"-> {speedup:.2f}x on {cores} core(s)"
+    )
+    if cores >= 2:
+        # Two workers on >= 2 cores must recoup their spawn cost.  The
+        # floor sits far below the expected ~1.4-1.7x because container
+        # timings fluctuate ±30-40%; check_regression.py's baseline
+        # ratio gate carries the finer trend signal.
+        assert speedup >= 1.05, f"2-worker sweep regressed: only {speedup:.2f}x"
+    else:
+        # Single core: parallel cannot win; just guard against the
+        # dispatch overhead exploding.
+        assert speedup >= 0.3, f"pool overhead exploded: {speedup:.2f}x of serial"
+
+
+def test_ring_batched_fast_search_speedup(sequence_cache):
+    """The frame_ring_sad driver must not regress: ring-batched fast
+    searches beat their own per-ring fallback on whole-frame motion
+    estimation (bit-identity is pinned by tests/test_ring_batch.py)."""
+    clip = sequence_cache["foreman"]
+    pairs = [(clip[i].y, clip[i + 1].y) for i in range(len(clip) - 1)]
+
+    def run_all(estimator) -> float:
+        started = time.perf_counter()
+        for reference, current in pairs:
+            estimator.estimate(current, reference)
+        return time.perf_counter() - started
+
+    ringed = create_estimator("ntss", p=15)
+    unringed = create_estimator("ntss", p=15)
+    unringed.first_ring = lambda: None  # engine on, ring batching off
+    ringed_s = min(run_all(ringed) for _ in range(3))
+    unringed_s = min(run_all(unringed) for _ in range(3))
+    speedup = unringed_s / ringed_s
+    _RECORDS["ring_ntss_frame_ms"] = ringed_s * 1000.0
+    _RECORDS["ring_ntss_unbatched_ms"] = unringed_s * 1000.0
+    _RECORDS["ring_ntss_speedup"] = speedup
+    print(
+        f"\nring batching (ntss, {len(pairs)} frames): batched {ringed_s * 1000:.1f} ms, "
+        f"per-ring {unringed_s * 1000:.1f} ms -> {speedup:.2f}x"
+    )
+    # Measured ~1.2-1.35x.  The hard floor only catches catastrophe (a
+    # warm path that became a net cost) with headroom for the
+    # container's ±30-40% timing noise; the committed baseline ratio in
+    # benchmarks/baselines/ carries the finer regression signal.
+    assert speedup >= 0.9, f"ring batching became a net cost: {speedup:.2f}x"

@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.codec.decoder import decode_bitstream
 from repro.codec.encoder import encode_sequence
+from repro.parallel import DecodeJob, run_jobs
 from repro.video.synthesis.sequences import make_sequence
 
 
@@ -80,6 +81,7 @@ def run_decode_bench(
     seed: int = 0,
     rounds: int = 3,
     encode=None,
+    jobs: int = 1,
 ) -> DecodeBenchResult:
     """Encode ``frames`` of a synthetic clip, then time both decode
     paths over the same bitstream (best of ``rounds``).
@@ -87,6 +89,10 @@ def run_decode_bench(
     Pass a prebuilt ``EncodeResult`` (with ``keep_reconstruction=True``
     and matching parameters) via ``encode`` to skip the encode — the
     benchmark suite reuses one shared encode across its tests.
+    ``jobs > 1`` runs the two *verification* decodes as parallel
+    :class:`repro.parallel.DecodeJob` specs; the timed decodes always
+    run serially in this process (anything else would corrupt the
+    wall-clock comparison).
     """
     if encode is None:
         clip = make_sequence(sequence, frames=frames, seed=seed)
@@ -97,8 +103,11 @@ def run_decode_bench(
         sequence, qp, estimator = encode.name, encode.qp, encode.estimator_name
         frames = len(encode.reconstruction)
     bitstream = encode.bitstream
-    batched = decode_bitstream(bitstream, use_engine=True)
-    per_block = decode_bitstream(bitstream, use_engine=False)
+    batched, per_block = run_jobs(
+        [DecodeJob(bitstream, use_engine=True), DecodeJob(bitstream, use_engine=False)],
+        workers=jobs,
+        base_seed=seed,
+    )
     identical = (
         len(batched) == len(per_block) == len(encode.reconstruction)
         and all(b == s for b, s in zip(batched, per_block))

@@ -22,6 +22,7 @@ The paper's two conclusions become checkable properties of the result:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -145,32 +146,24 @@ class Fig4Result:
         )
 
 
-def run_fig4(
-    world: np.ndarray | None = None,
-    motions: tuple[tuple[int, int], ...] = DEFAULT_GLOBAL_MOTIONS,
+def render_rig_frames(
+    motions: tuple[tuple[int, int], ...],
     geometry: FrameGeometry = QCIF,
     p: int = 15,
-    block_size: int = 16,
     seed: int = 0,
-) -> Fig4Result:
-    """Run the Fig. 3 rig and return the Fig. 4 observations.
+    world: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """The rig's frame stack: camera windows cropped from the world
+    plane at the accumulated commanded offsets.
 
-    Parameters
-    ----------
-    world:
-        Optional world plane; defaults to :func:`default_world` with a
-        margin able to absorb the cumulative commanded displacement.
-    motions:
-        The nine known (dx, dy) global displacements between the ten
-        consecutive frames.
+    Camera offsets start centred and accumulate the commanded
+    displacements.  Moving the window by (+dy, +dx) means the current
+    frame's content matches the previous frame at displacement
+    (+dx, +dy) — i.e. the measured motion vector equals the command
+    (paper Fig. 1 convention: best match at (x+u, y+v)).
     """
     if any(max(abs(dx), abs(dy)) > p for dx, dy in motions):
         raise ValueError(f"commanded motions must stay within +-{p}")
-    # Camera offsets: start centred and accumulate the commanded
-    # displacements.  Moving the window by (+dy, +dx) means the current
-    # frame's content matches the previous frame at displacement
-    # (+dx, +dy) — i.e. the measured motion vector equals the command
-    # (paper Fig. 1 convention: best match at (x+u, y+v)).
     offsets = [(0, 0)]
     for dx, dy in motions:
         oy, ox = offsets[-1]
@@ -195,37 +188,124 @@ def run_fig4(
             centre_x + ox : centre_x + ox + geometry.width,
         ]
         frames.append(np.clip(np.rint(window), 0, 255).astype(np.uint8))
+    return frames
 
-    result = Fig4Result()
-    mb_rows = geometry.height // block_size
-    mb_cols = geometry.width // block_size
-    for pair_index, (dx, dy) in enumerate(motions):
-        reference = frames[pair_index]
-        current = frames[pair_index + 1]
-        truth = MotionVector(2 * dx, 2 * dy)
-        # One engine pass per frame pair: every block's full SAD surface
-        # (also the backing store of SAD_deviation), the FSBM minima
-        # with the standard tie-break, and the Intra_SAD activity map —
-        # block-for-block identical to running full_search_sads /
-        # select_minimum / sad_deviation per macroblock.
-        surfaces = frame_sad_surfaces(current, reference, block_size, p)
-        best_dx, best_dy, sad_mins, _ = select_minima(surfaces)
-        deviations = surfaces.deviations()
-        activity = block_activity_map(current, block_size)
-        for r in range(mb_rows):
-            for c in range(mb_cols):
-                mv = MotionVector(2 * int(best_dx[r, c]), 2 * int(best_dy[r, c]))
-                error = (mv - truth).chebyshev_pixels()
-                error_class = min(int(error), 5)
-                result.observations.append(
-                    BlockObservation(
-                        frame_pair=pair_index,
-                        mb_row=r,
-                        mb_col=c,
-                        error_class=error_class,
-                        intra_sad=float(activity[r, c]),
-                        sad_deviation=int(deviations[r, c]),
-                        sad_min=int(sad_mins[r, c]),
-                    )
+
+@lru_cache(maxsize=4)
+def rig_frames_cached(
+    motions: tuple[tuple[int, int], ...],
+    geometry: FrameGeometry,
+    p: int,
+    seed: int,
+) -> list[np.ndarray]:
+    """Memoized :func:`render_rig_frames` for the default world — a
+    worker executing several pairs of one rig (the
+    :class:`repro.parallel.Fig4PairJob` identity fields are the key)
+    renders the frame stack once per process."""
+    return render_rig_frames(tuple(motions), geometry, p=p, seed=seed)
+
+
+def observe_pair(
+    frames: list[np.ndarray],
+    pair_index: int,
+    motion: tuple[int, int],
+    block_size: int = 16,
+    p: int = 15,
+) -> list[BlockObservation]:
+    """Every block's Fig. 4 observation for one consecutive frame pair.
+
+    One engine pass per frame pair: every block's full SAD surface
+    (also the backing store of SAD_deviation), the FSBM minima with
+    the standard tie-break, and the Intra_SAD activity map —
+    block-for-block identical to running full_search_sads /
+    select_minimum / sad_deviation per macroblock.
+    """
+    reference = frames[pair_index]
+    current = frames[pair_index + 1]
+    dx, dy = motion
+    truth = MotionVector(2 * dx, 2 * dy)
+    surfaces = frame_sad_surfaces(current, reference, block_size, p)
+    best_dx, best_dy, sad_mins, _ = select_minima(surfaces)
+    deviations = surfaces.deviations()
+    activity = block_activity_map(current, block_size)
+    mb_rows, mb_cols = current.shape[0] // block_size, current.shape[1] // block_size
+    observations = []
+    for r in range(mb_rows):
+        for c in range(mb_cols):
+            mv = MotionVector(2 * int(best_dx[r, c]), 2 * int(best_dy[r, c]))
+            error = (mv - truth).chebyshev_pixels()
+            error_class = min(int(error), 5)
+            observations.append(
+                BlockObservation(
+                    frame_pair=pair_index,
+                    mb_row=r,
+                    mb_col=c,
+                    error_class=error_class,
+                    intra_sad=float(activity[r, c]),
+                    sad_deviation=int(deviations[r, c]),
+                    sad_min=int(sad_mins[r, c]),
                 )
+            )
+    return observations
+
+
+def run_fig4(
+    world: np.ndarray | None = None,
+    motions: tuple[tuple[int, int], ...] = DEFAULT_GLOBAL_MOTIONS,
+    geometry: FrameGeometry = QCIF,
+    p: int = 15,
+    block_size: int = 16,
+    seed: int = 0,
+    jobs: int = 1,
+    progress=None,
+) -> Fig4Result:
+    """Run the Fig. 3 rig and return the Fig. 4 observations.
+
+    Parameters
+    ----------
+    world:
+        Optional world plane; defaults to :func:`default_world` with a
+        margin able to absorb the cumulative commanded displacement.
+        An explicit world is processed in-process (arrays are not part
+        of the hashable job identity), so ``jobs`` then has no effect.
+    motions:
+        The nine known (dx, dy) global displacements between the ten
+        consecutive frames.
+    jobs:
+        Worker processes sharding the frame pairs; observations merge
+        in pair order, so the result is identical for any value.
+    progress:
+        Optional per-pair progress callable.
+    """
+    motions = tuple(motions)
+    result = Fig4Result()
+    if world is not None:
+        frames = render_rig_frames(motions, geometry, p=p, seed=seed, world=world)
+        for pair_index, motion in enumerate(motions):
+            if progress is not None:
+                progress(f"fig4 pair {pair_index}")
+            result.observations.extend(
+                observe_pair(frames, pair_index, motion, block_size=block_size, p=p)
+            )
+        return result
+
+    from repro.parallel import Fig4PairJob, run_jobs
+
+    # Fail fast (and in this process) on bad commands; the default
+    # world always satisfies the rig's margin requirement.
+    if any(max(abs(dx), abs(dy)) > p for dx, dy in motions):
+        raise ValueError(f"commanded motions must stay within +-{p}")
+    pair_jobs = [
+        Fig4PairJob(
+            pair_index=i,
+            motions=motions,
+            geometry=geometry,
+            p=p,
+            block_size=block_size,
+            seed=seed,
+        )
+        for i in range(len(motions))
+    ]
+    for observations in run_jobs(pair_jobs, workers=jobs, base_seed=seed, progress=progress):
+        result.observations.extend(observations)
     return result

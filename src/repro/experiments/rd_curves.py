@@ -9,6 +9,15 @@ search-cost statistics.  The per-cell records feed three consumers:
   sweep needed),
 * the paper's verbal claims, expressed as the comparison helpers on
   :class:`RDSweepResult`.
+
+The sweep itself is a flat list of independent
+:class:`repro.parallel.EncodeJob` specs executed through
+:func:`repro.parallel.run_jobs` — serially in-process for ``jobs=1``
+(the default, identical to the historical loop) or sharded across
+worker processes for ``jobs>1``.  Cells always merge back in the
+canonical (sequence, fps, estimator, Qp) job order, so every consumer
+of the result — and the printed figures — is byte-identical for any
+worker count.
 """
 
 from __future__ import annotations
@@ -17,14 +26,13 @@ from dataclasses import dataclass, field
 
 from repro.analysis.rd import RDCurve, RDPoint
 from repro.analysis.reporting import format_rd_series
-from repro.codec.encoder import Encoder
 from repro.core.acbm import ACBMEstimator
 from repro.experiments.config import ExperimentConfig
 from repro.me.estimator import MotionEstimator
 from repro.me.full_search import FullSearchEstimator
 from repro.me.predictive import PredictiveEstimator
+from repro.parallel import SweepJob, borrowed_renders, run_jobs
 from repro.video.sequence import Sequence
-from repro.video.synthesis.sequences import make_sequence
 
 #: The figures' three curves.
 PAPER_ESTIMATORS: tuple[str, ...] = ("acbm", "fsbm", "pbm")
@@ -118,11 +126,19 @@ def build_estimator(name: str, config: ExperimentConfig) -> MotionEstimator:
     return create_estimator(name, p=config.p)
 
 
+def sweep_jobs(
+    config: ExperimentConfig, estimators: tuple[str, ...] = PAPER_ESTIMATORS
+):
+    """The sweep's per-cell job list in canonical merge order."""
+    return SweepJob(config=config, estimators=tuple(estimators)).expand()
+
+
 def run_rd_sweep(
     config: ExperimentConfig | None = None,
     estimators: tuple[str, ...] = PAPER_ESTIMATORS,
     sequences_cache: dict[str, Sequence] | None = None,
     progress=None,
+    jobs: int = 1,
 ) -> RDSweepResult:
     """Run the full sweep.
 
@@ -135,44 +151,21 @@ def run_rd_sweep(
     sequences_cache:
         Optional pre-rendered 30 fps sources keyed by name (the Table 1
         bench shares renders with the figure benches through this).
+        Only short-circuits rendering in the calling process; workers
+        re-render (memoized per worker).
     progress:
         Optional callable ``(message: str) -> None`` for live progress.
+    jobs:
+        Worker processes; 1 (the default) runs in-process.  The result
+        is byte-identical for any value — cells merge in job order and
+        every job's inputs are derived from explicit seeds.
     """
     config = config or ExperimentConfig()
-    result = RDSweepResult(config=config)
-    cache = sequences_cache if sequences_cache is not None else {}
-    for name in config.sequences:
-        if name not in cache:
-            cache[name] = make_sequence(
-                name, frames=config.frames, seed=config.seed, geometry=config.geometry
-            )
-        source = cache[name]
-        for fps in config.fps_list:
-            clip = source.subsample(config.subsample_factor(fps))
-            for estimator_name in estimators:
-                for qp in config.qps:
-                    if progress is not None:
-                        progress(f"{name}@{fps}fps {estimator_name} qp={qp}")
-                    encoder = Encoder(
-                        estimator=build_estimator(estimator_name, config),
-                        qp=qp,
-                        keep_reconstruction=False,
-                    )
-                    encode = encoder.encode(clip)
-                    stats = encode.search_stats
-                    result.cells.append(
-                        SweepCell(
-                            sequence=name,
-                            fps=fps,
-                            estimator=estimator_name,
-                            qp=qp,
-                            rate_kbps=encode.rate_kbps,
-                            psnr_y=encode.mean_psnr_y,
-                            avg_positions=stats.avg_positions_per_block,
-                            full_search_fraction=stats.full_search_fraction,
-                            skipped_mbs=sum(f.skipped_mbs for f in encode.frames),
-                            mv_bits=sum(f.mv_bits for f in encode.frames),
-                            coefficient_bits=sum(f.coefficient_bits for f in encode.frames),
-                        )
-                    )
-    return result
+    with borrowed_renders(sequences_cache or {}, config):
+        cells = run_jobs(
+            sweep_jobs(config, estimators),
+            workers=jobs,
+            base_seed=config.seed,
+            progress=progress,
+        )
+    return RDSweepResult(config=config, cells=list(cells))

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro.experiments.runner fig4
     python -m repro.experiments.runner fig5 --frames 21
-    python -m repro.experiments.runner fig6 --frames 21
+    python -m repro.experiments.runner fig6 --frames 21 --jobs 4
+    python -m repro.experiments.runner all --jobs 4
     python -m repro.experiments.runner table1 --frames 21 --qps 30 22 16
     python -m repro.experiments.runner all
     python -m repro.experiments.runner decode-bench --frames 9 --json BENCH_decode.json
@@ -48,7 +49,9 @@ def _progress(message: str) -> None:
 
 
 def cmd_fig4(args: argparse.Namespace) -> None:
-    result = run_fig4(seed=args.seed)
+    result = run_fig4(
+        seed=args.seed, jobs=args.jobs, progress=_progress if args.verbose else None
+    )
     print(result.as_text())
     print()
     print(format_histogram(result.class_counts(), title="Blocks per error class"))
@@ -57,13 +60,15 @@ def cmd_fig4(args: argparse.Namespace) -> None:
 
 def cmd_rd(args: argparse.Namespace, fps: int) -> None:
     config = _config_from_args(args, fps_list=(fps,))
-    sweep = run_rd_sweep(config, progress=_progress if args.verbose else None)
+    sweep = run_rd_sweep(
+        config, progress=_progress if args.verbose else None, jobs=args.jobs
+    )
     print(sweep.as_text(fps))
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
     config = _config_from_args(args)
-    table = run_table1(config, progress=_progress if args.verbose else None)
+    table = run_table1(config, progress=_progress if args.verbose else None, jobs=args.jobs)
     print(table.as_text())
     print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
 
@@ -84,6 +89,7 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
         estimator=args.estimator,
         seed=args.seed,
         rounds=args.rounds,
+        jobs=args.jobs,
     )
     print(result.as_text())
     if args.json:
@@ -97,18 +103,46 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_all(args: argparse.Namespace) -> None:
-    started = time.time()
-    cmd_fig4(args)
+    """Everything, sharing one sweep, with a per-stage timing summary.
+
+    Progress lines flush through the pool's progress callback
+    (``--verbose``); the timing summary goes to stderr so stdout stays
+    byte-identical to running the subcommands individually.
+    """
+    timings: list[tuple[str, float]] = []
+
+    def timed(label: str, fn) -> object:
+        started = time.perf_counter()
+        value = fn()
+        timings.append((label, time.perf_counter() - started))
+        return value
+
+    timed("fig4", lambda: cmd_fig4(args))
     print("\n" + "=" * 70 + "\n")
     config = _config_from_args(args)
-    sweep = run_rd_sweep(config, progress=_progress if args.verbose else None)
+    sweep = timed(
+        "rd sweep",
+        lambda: run_rd_sweep(
+            config, progress=_progress if args.verbose else None, jobs=args.jobs
+        ),
+    )
     for fps in config.fps_list:
-        print(sweep.as_text(fps))
+        label = {30: "fig5", 10: "fig6"}.get(fps, f"rd@{fps}fps")
+        timed(f"{label} report", lambda f=fps: print(sweep.as_text(f)))
         print("\n" + "=" * 70 + "\n")
-    table = run_table1(config, sweep=sweep)
-    print(table.as_text())
-    print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
-    print(f"\n[total wall time {time.time() - started:.1f}s]", file=sys.stderr)
+
+    def table1_report() -> None:
+        table = run_table1(config, sweep=sweep)
+        print(table.as_text())
+        print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
+
+    timed("table1", table1_report)
+    total = sum(duration for _, duration in timings)
+    width = max(len(label) for label, _ in timings)
+    print("\n== wall-clock summary ==", file=sys.stderr)
+    for label, duration in timings:
+        print(f"  {label:<{width}}  {duration:8.2f}s", file=sys.stderr)
+    print(f"  {'total':<{width}}  {total:8.2f}s  (--jobs {args.jobs})", file=sys.stderr, flush=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--frames", type=int, default=21, help="30fps source frames per clip")
     common.add_argument("--seed", type=int, default=0, help="synthesis seed")
     common.add_argument("--verbose", action="store_true", help="print per-encode progress")
+    common.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes sharding the experiment's job list "
+        "(default 1 = in-process; output is byte-identical for any N)",
+    )
     common.add_argument(
         "--sequences", nargs="+", default=None, metavar="NAME",
         help="subset of sequences (default: the paper's four)",

@@ -16,6 +16,8 @@ tie-breaks and position counts bit-identical to the sequential path.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from repro.me.engine.kernels import evaluate_candidates_batch
@@ -35,7 +37,12 @@ class CandidateEvaluator:
     Tracks the running best (SAD, shortest-vector tie-break identical to
     the full search's) and the number of evaluated positions.
     ``reference`` may be a raw plane or a shared
-    :class:`ReferencePlane`.
+    :class:`ReferencePlane`.  ``precomputed`` optionally maps
+    ``(dx, dy)`` to already-scored SADs (the frame driver's batched
+    first ring): a miss in the evaluator's own cache consults it before
+    computing, so precomputed positions still count as evaluated only
+    once the search actually visits them — position accounting and
+    tie-breaks stay bit-identical to the unseeded path.
     """
 
     def __init__(
@@ -45,12 +52,14 @@ class CandidateEvaluator:
         block_y: int,
         block_x: int,
         window: SearchWindow,
+        precomputed: "Mapping[tuple[int, int], int] | None" = None,
     ) -> None:
         self.block = block
         self.reference = reference.luma if isinstance(reference, ReferencePlane) else reference
         self.block_y = block_y
         self.block_x = block_x
         self.window = window
+        self._pre = precomputed if precomputed else None
         self._cache: dict[tuple[int, int], int] = {}
         self.best_dx: int | None = None
         self.best_dy: int | None = None
@@ -76,11 +85,13 @@ class CandidateEvaluator:
         if cached is not None:
             value = cached
         else:
-            s = self.block.shape[0]
-            y = self.block_y + dy
-            x = self.block_x + dx
-            ref_block = self.reference[y : y + s, x : x + self.block.shape[1]]
-            value = sad(self.block, ref_block)
+            value = self._pre.get(key) if self._pre is not None else None
+            if value is None:
+                s = self.block.shape[0]
+                y = self.block_y + dy
+                x = self.block_x + dx
+                ref_block = self.reference[y : y + s, x : x + self.block.shape[1]]
+                value = sad(self.block, ref_block)
             self._cache[key] = value
         self._update_best(dx, dy, value)
         return value
@@ -109,7 +120,12 @@ class CandidateEvaluator:
         seen: set[tuple[int, int]] = set()
         for dx, dy in disp:
             pos = (dx, dy)
-            if self.window.contains(dx, dy) and pos not in self._cache and pos not in seen:
+            if (
+                self.window.contains(dx, dy)
+                and pos not in self._cache
+                and pos not in seen
+                and (self._pre is None or pos not in self._pre)
+            ):
                 seen.add(pos)
                 fresh.append(pos)
         if len(fresh) >= _BATCH_THRESHOLD and self.block.shape[0] == self.block.shape[1]:

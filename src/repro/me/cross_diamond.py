@@ -37,6 +37,13 @@ class CrossDiamondEstimator(MotionEstimator):
             raise ValueError(f"max_recentres must be >= 1, got {max_recentres}")
         self.max_recentres = max_recentres
 
+    def first_ring(self):
+        """Centre plus the small cross — CDS's unconditional opening.
+        The radius-2 arms are *not* included: most real-video blocks
+        take the first-step stop, so pre-scoring the arms for every
+        block would waste more gathers than it saves."""
+        return ((0, 0),) + _CROSS_CENTRE
+
     def search_block(self, ctx: BlockContext) -> BlockResult:
         window = clamped_window(
             ctx.block_y,
@@ -48,7 +55,8 @@ class CrossDiamondEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window,
+            precomputed=ctx.warm_sads,
         )
         evaluator.evaluate(0, 0)
         evaluator.evaluate_many(_CROSS_CENTRE)

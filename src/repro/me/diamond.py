@@ -42,6 +42,11 @@ class DiamondEstimator(MotionEstimator):
             raise ValueError(f"max_recentres must be >= 1, got {max_recentres}")
         self.max_recentres = max_recentres
 
+    def first_ring(self):
+        """Centre plus the first large diamond, batched across blocks
+        by the frame driver."""
+        return ((0, 0),) + LARGE_DIAMOND
+
     def search_block(self, ctx: BlockContext) -> BlockResult:
         window = clamped_window(
             ctx.block_y,
@@ -53,7 +58,8 @@ class DiamondEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window,
+            precomputed=ctx.warm_sads,
         )
         evaluator.evaluate(0, 0)
         evaluator.descend(LARGE_DIAMOND, self.max_recentres)

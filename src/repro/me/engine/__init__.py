@@ -43,6 +43,7 @@ from repro.me.engine.kernels import (
     SURFACE_SENTINEL,
     FrameSadSurfaces,
     evaluate_candidates_batch,
+    frame_ring_sad,
     frame_sad_surfaces,
     refine_half_pel_batch,
     select_minima,
@@ -68,6 +69,7 @@ __all__ = [
     "evaluate_candidates_batch",
     "frame_mc_chroma",
     "frame_mc_luma",
+    "frame_ring_sad",
     "frame_sad_surfaces",
     "refine_half_pel_batch",
     "select_minima",

@@ -9,7 +9,12 @@ the order that makes the left/top spatial predictors of Fig. 2
 available), assembling a :class:`MotionField` and a
 :class:`SearchStats`; estimators with a whole-frame vectorized path
 (FSBM) override it and batch every block through
-:mod:`repro.me.engine` instead, with bit-identical results.
+:mod:`repro.me.engine` instead, with bit-identical results.  The
+default walk itself batches what causality allows: searches that
+declare a fixed opening pattern (:meth:`MotionEstimator.first_ring`)
+get that ring scored for every block in one
+:func:`repro.me.engine.frame_ring_sad` gather before the walk starts,
+and each block's evaluator is seeded with the precomputed SADs.
 
 ``estimate`` also builds one :class:`repro.me.engine.ReferencePlane`
 per call (or accepts a shared one from the encoder) so every search's
@@ -25,10 +30,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.me.engine.kernels import frame_ring_sad
 from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.stats import SearchStats
 from repro.me.types import BlockResult, MotionField
@@ -49,6 +55,19 @@ class BlockContext:
     #: Shared per-frame cache (half-pel plane etc.); ``None`` when the
     #: reference is not cacheable or the engine is disabled.
     ref_plane: ReferencePlane | None = None
+    #: Pre-scored first-ring SADs for *this* block, keyed by ``(dx, dy)``
+    #: — filled by the frame driver from one :func:`frame_ring_sad`
+    #: gather when the estimator declares a fixed first ring.  A
+    #: :class:`repro.me.candidates.CandidateEvaluator` consults it on
+    #: cache misses, so values are used (and counted) only for the
+    #: positions the search actually visits.
+    warm_sads: "Mapping[tuple[int, int], int] | None" = None
+    #: Per-frame scratch shared by every block of one
+    #: :meth:`MotionEstimator.estimate_frame` call — estimators are
+    #: stateless between frames, so lazily built frame-wide artifacts
+    #: (e.g. ACBM's full-search SAD surfaces) live here instead of on
+    #: the instance.
+    frame_cache: dict | None = None
 
     @property
     def block_y(self) -> int:
@@ -111,6 +130,41 @@ class MotionEstimator(ABC):
     @abstractmethod
     def search_block(self, ctx: BlockContext) -> BlockResult:
         """Find the motion vector for the macroblock described by ``ctx``."""
+
+    def first_ring(self) -> "tuple[tuple[int, int], ...] | None":
+        """The fixed first-stage candidate displacements, or ``None``.
+
+        Pattern searches whose opening stage evaluates the same
+        ``(dx, dy)`` set for every block (TSS's step ring, DS's large
+        diamond, ...) return it here; the frame driver then scores the
+        ring for *all* blocks in one :func:`frame_ring_sad` gather and
+        seeds each block's evaluator with the results.  Searches whose
+        first candidates depend on per-block state (predictive, ACBM)
+        return ``None`` — batching their openings would break Fig. 2's
+        causal predictor chain.
+        """
+        return None
+
+    def _first_ring_warm(
+        self, current: np.ndarray, plane: ReferencePlane | None, rows: int, cols: int
+    ) -> "list[list[dict[tuple[int, int], int]]] | None":
+        """Per-block warm SAD dictionaries from one batched ring gather,
+        or ``None`` when ring batching does not apply.  Candidates whose
+        block leaves the plane are dropped (the evaluator's window test
+        rejects them before the warm cache is consulted anyway)."""
+        if plane is None or not self.use_engine:
+            return None
+        ring = self.first_ring()
+        if not ring:
+            return None
+        sads = frame_ring_sad(current, plane, ring, self.block_size).tolist()
+        return [
+            [
+                {off: value for off, value in zip(ring, sads[r][c]) if value >= 0}
+                for c in range(cols)
+            ]
+            for r in range(rows)
+        ]
 
     def estimate(
         self,
@@ -179,6 +233,8 @@ class MotionEstimator(ABC):
         """
         s = self.block_size
         rows, cols = current.shape[0] // s, current.shape[1] // s
+        warm = self._first_ring_warm(current, plane, rows, cols)
+        frame_cache: dict = {}
         field = MotionField(rows, cols)
         stats = SearchStats()
         for r in range(rows):
@@ -193,6 +249,8 @@ class MotionEstimator(ABC):
                     prev_field=prev_field,
                     qp=qp,
                     ref_plane=plane,
+                    warm_sads=warm[r][c] if warm is not None else None,
+                    frame_cache=frame_cache,
                 )
                 result = self.search_block(ctx)
                 field.set(r, c, result.mv)

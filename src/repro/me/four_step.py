@@ -46,6 +46,11 @@ class FourStepEstimator(MotionEstimator):
             raise ValueError(f"max_recentres must be >= 0, got {max_recentres}")
         self.max_recentres = max_recentres
 
+    def first_ring(self):
+        """Centre plus the opening 5x5/step-2 pattern, batched across
+        blocks by the frame driver."""
+        return ((0, 0),) + _OUTER
+
     def search_block(self, ctx: BlockContext) -> BlockResult:
         window = clamped_window(
             ctx.block_y,
@@ -57,7 +62,8 @@ class FourStepEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window,
+            precomputed=ctx.warm_sads,
         )
         evaluator.evaluate(0, 0)
         evaluator.evaluate_many(_OUTER)

@@ -28,6 +28,17 @@ _UNIT_RING = ((-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 
 class NewThreeStepEstimator(MotionEstimator):
     """Centre-biased new three-step search with half-pel refinement."""
 
+    def first_ring(self):
+        """Centre, the unit ring and the step-sized ring — NTSS's fixed
+        first stage, batched across blocks by the frame driver."""
+        step = initial_step(self.p)
+        ring = [(0, 0)]
+        for ox, oy in _UNIT_RING:
+            ring.append((ox, oy))
+            if (ox * step, oy * step) not in ring:
+                ring.append((ox * step, oy * step))
+        return tuple(ring)
+
     def search_block(self, ctx: BlockContext) -> BlockResult:
         window = clamped_window(
             ctx.block_y,
@@ -39,7 +50,8 @@ class NewThreeStepEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window,
+            precomputed=ctx.warm_sads,
         )
         evaluator.evaluate(0, 0)
         step = initial_step(self.p)

@@ -31,6 +31,14 @@ def initial_step(p: int) -> int:
 class ThreeStepEstimator(MotionEstimator):
     """Classic three-step search with half-pel refinement."""
 
+    def first_ring(self):
+        """Centre plus the 8 step-sized points of the first stage —
+        identical for every block, so the frame driver batches it."""
+        step = initial_step(self.p)
+        return ((0, 0),) + tuple(
+            (ox, oy) for ox in (-step, 0, step) for oy in (-step, 0, step) if (ox, oy) != (0, 0)
+        )
+
     def search_block(self, ctx: BlockContext) -> BlockResult:
         window = clamped_window(
             ctx.block_y,
@@ -42,7 +50,8 @@ class ThreeStepEstimator(MotionEstimator):
             self.p,
         )
         evaluator = CandidateEvaluator(
-            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window
+            ctx.block, ctx.matcher_reference, ctx.block_y, ctx.block_x, window,
+            precomputed=ctx.warm_sads,
         )
         evaluator.evaluate(0, 0)
         step = initial_step(self.p)

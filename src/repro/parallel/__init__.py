@@ -1,0 +1,46 @@
+"""Process-parallel experiment orchestration.
+
+The paper's experiments decompose into independent units — one encode
+per RD-sweep cell, one frame pair per Fig. 4 observation batch, one
+bitstream per decode — and every estimator is stateless, so the layer
+above the frame-level kernels shards *jobs* across processes:
+
+* :mod:`repro.parallel.jobs` — hashable, picklable job specs
+  (:class:`EncodeJob`, :class:`DecodeJob`, :class:`SweepJob`,
+  :class:`Fig4PairJob`) with module-level execution recipes and
+  per-process render memoization.
+* :mod:`repro.parallel.pool` — :func:`run_jobs`, a
+  ``ProcessPoolExecutor``/``spawn`` wrapper with deterministic per-job
+  ``SeedSequence`` seeding, chunked dispatch, progress callbacks and an
+  in-process fallback for ``--jobs 1``.
+
+Results always merge in job order, so a harness's output is
+byte-identical for any worker count; the golden tests in
+``tests/test_parallel.py`` pin that property.
+"""
+
+from repro.parallel.jobs import (
+    DecodeJob,
+    EncodeJob,
+    Fig4PairJob,
+    JobSpec,
+    SweepJob,
+    borrowed_renders,
+    clear_render_cache,
+    rendered_source,
+)
+from repro.parallel.pool import derive_job_seeds, execute_job, run_jobs
+
+__all__ = [
+    "DecodeJob",
+    "EncodeJob",
+    "Fig4PairJob",
+    "JobSpec",
+    "SweepJob",
+    "borrowed_renders",
+    "clear_render_cache",
+    "derive_job_seeds",
+    "execute_job",
+    "rendered_source",
+    "run_jobs",
+]

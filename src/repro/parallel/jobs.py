@@ -1,0 +1,235 @@
+"""Hashable job specifications for the experiment orchestration layer.
+
+Each spec is a frozen dataclass describing one self-contained unit of
+work — an encode of one ``(sequence, fps, estimator, Qp)`` cell, one
+bitstream decode, one Fig. 4 frame pair — plus ``run()``, the
+module-level execution recipe :func:`repro.parallel.pool.run_jobs`
+invokes in whatever process the job lands.  Specs are hashable and
+carry only primitives/frozen configs, so they pickle cheaply across the
+``spawn`` boundary and can key caches and dedup sets.
+
+Workers re-derive their inputs from the spec: sequence renders are
+memoized **per process** (:func:`rendered_source`), so a worker that
+executes several cells of the same clip pays the synthesis cost once,
+exactly like the serial harness's shared cache.  All rendering takes
+explicit seeds from the spec, which is what makes job outputs
+independent of placement and execution order.
+
+Heavy imports (codec, experiments) happen inside ``run`` bodies: the
+experiment modules import this package to build job lists, so importing
+them here at module level would cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.rd_curves import SweepCell
+    from repro.video.frame import FrameGeometry
+    from repro.video.sequence import Sequence
+
+
+class JobSpec:
+    """Minimal job interface: ``run`` does the work, ``describe`` is the
+    one-line progress label.  Subclasses are frozen dataclasses."""
+
+    def run(self, rng: np.random.Generator | None = None):
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+#: Per-process memo of 30 fps source renders keyed by
+#: ``(name, frames, seed, geometry)``.  Bounded by the experiment's
+#: sequence roster (four clips in the paper's setup), so no eviction.
+_RENDER_CACHE: dict = {}
+
+
+def rendered_source(name: str, config: ExperimentConfig) -> "Sequence":
+    """The 30 fps source render for ``name`` under ``config``, memoized
+    in this process."""
+    key = (name, config.frames, config.seed, config.geometry)
+    source = _RENDER_CACHE.get(key)
+    if source is None:
+        from repro.video.synthesis.sequences import make_sequence
+
+        source = make_sequence(
+            name, frames=config.frames, seed=config.seed, geometry=config.geometry
+        )
+        _RENDER_CACHE[key] = source
+    return source
+
+
+@contextmanager
+def borrowed_renders(sources: "Mapping[str, Sequence]", config: ExperimentConfig):
+    """Lend caller-held renders to the per-process memo for one call
+    (the benchmark suites share one session-scoped cache this way).
+    Only reaches the calling process — workers re-render on first use.
+
+    Frame count and geometry are validated up front; the synthesis seed
+    is not observable on a rendered :class:`Sequence`, so borrowed
+    entries are *evicted on exit* — a render that lies about its seed
+    can only affect the sweep it was handed to (the seed serial loop's
+    blast radius), never later sweeps served by the process-global
+    memo.  Entries the memo already holds are left in place.
+    """
+    for name, source in sources.items():
+        if len(source) != config.frames or source.geometry != config.geometry:
+            raise ValueError(
+                f"cached render {name!r} is {len(source)} frames of {source.geometry}, "
+                f"config wants {config.frames} frames of {config.geometry}"
+            )
+    borrowed: list[tuple] = []
+    for name, source in sources.items():
+        key = (name, config.frames, config.seed, config.geometry)
+        if key not in _RENDER_CACHE:
+            _RENDER_CACHE[key] = source
+            borrowed.append(key)
+    try:
+        yield
+    finally:
+        for key in borrowed:
+            _RENDER_CACHE.pop(key, None)
+
+
+def clear_render_cache() -> None:
+    """Drop this process's render memo (hermetic benchmarking/tests)."""
+    _RENDER_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class EncodeJob(JobSpec):
+    """One RD-sweep cell: encode one clip variant, summarize the run."""
+
+    sequence: str
+    fps: int
+    estimator: str
+    qp: int
+    config: ExperimentConfig
+
+    def describe(self) -> str:
+        return f"{self.sequence}@{self.fps}fps {self.estimator} qp={self.qp}"
+
+    def run(self, rng: np.random.Generator | None = None) -> "SweepCell":
+        from repro.codec.encoder import Encoder
+        from repro.experiments.rd_curves import SweepCell, build_estimator
+
+        source = rendered_source(self.sequence, self.config)
+        clip = source.subsample(self.config.subsample_factor(self.fps))
+        encoder = Encoder(
+            estimator=build_estimator(self.estimator, self.config),
+            qp=self.qp,
+            keep_reconstruction=False,
+        )
+        encode = encoder.encode(clip)
+        stats = encode.search_stats
+        return SweepCell(
+            sequence=self.sequence,
+            fps=self.fps,
+            estimator=self.estimator,
+            qp=self.qp,
+            rate_kbps=encode.rate_kbps,
+            psnr_y=encode.mean_psnr_y,
+            avg_positions=stats.avg_positions_per_block,
+            full_search_fraction=stats.full_search_fraction,
+            skipped_mbs=sum(f.skipped_mbs for f in encode.frames),
+            mv_bits=sum(f.mv_bits for f in encode.frames),
+            coefficient_bits=sum(f.coefficient_bits for f in encode.frames),
+        )
+
+
+@dataclass(frozen=True)
+class SweepJob(JobSpec):
+    """A whole RD sweep as one spec; :meth:`expand` yields the per-cell
+    :class:`EncodeJob` list in the canonical (sequence, fps, estimator,
+    Qp) order every consumer merges by.  Running the spec itself
+    executes its cells serially — the coarse-grained unit for remote or
+    chunked dispatch."""
+
+    config: ExperimentConfig
+    estimators: tuple[str, ...]
+
+    def expand(self) -> tuple[EncodeJob, ...]:
+        return tuple(
+            EncodeJob(sequence=name, fps=fps, estimator=estimator, qp=qp, config=self.config)
+            for name in self.config.sequences
+            for fps in self.config.fps_list
+            for estimator in self.estimators
+            for qp in self.config.qps
+        )
+
+    def describe(self) -> str:
+        return (
+            f"sweep {'/'.join(self.config.sequences)} x {'/'.join(self.estimators)} "
+            f"x {len(self.config.qps)} qps"
+        )
+
+    def run(self, rng: np.random.Generator | None = None) -> "tuple[SweepCell, ...]":
+        return tuple(job.run(rng=rng) for job in self.expand())
+
+
+@dataclass(frozen=True)
+class DecodeJob(JobSpec):
+    """Decode one emitted bitstream through a chosen reconstruction
+    path; returns the decoded frame list."""
+
+    bitstream: bytes
+    use_engine: bool = True
+
+    def describe(self) -> str:
+        path = "batched" if self.use_engine else "per-block"
+        return f"decode {len(self.bitstream)}B ({path})"
+
+    def run(self, rng: np.random.Generator | None = None):
+        from repro.codec.decoder import decode_bitstream
+
+        return decode_bitstream(self.bitstream, use_engine=self.use_engine)
+
+
+@dataclass(frozen=True)
+class Fig4PairJob(JobSpec):
+    """One frame pair of the Fig. 3 rig: render the rig (memoized per
+    process), run batched FSBM over the pair, classify every block."""
+
+    pair_index: int
+    motions: tuple[tuple[int, int], ...]
+    geometry: "FrameGeometry"
+    p: int = 15
+    block_size: int = 16
+    seed: int = 0
+
+    def describe(self) -> str:
+        dx, dy = self.motions[self.pair_index]
+        return f"fig4 pair {self.pair_index} (commanded {dx:+d},{dy:+d})"
+
+    def run(self, rng: np.random.Generator | None = None):
+        from repro.experiments.fig4_characterization import observe_pair, rig_frames_cached
+
+        frames = rig_frames_cached(self.motions, self.geometry, self.p, self.seed)
+        return observe_pair(
+            frames,
+            self.pair_index,
+            self.motions[self.pair_index],
+            block_size=self.block_size,
+            p=self.p,
+        )
+
+
+__all__ = [
+    "DecodeJob",
+    "EncodeJob",
+    "Fig4PairJob",
+    "JobSpec",
+    "SweepJob",
+    "borrowed_renders",
+    "clear_render_cache",
+    "rendered_source",
+]

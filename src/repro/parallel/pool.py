@@ -1,0 +1,204 @@
+"""Process pool executing job specs with deterministic seeding.
+
+:func:`run_jobs` is the one entry point: it takes a list of
+:class:`repro.parallel.jobs.JobSpec` instances and returns their results
+**in job order**, whatever the worker count or completion order — the
+experiment harnesses rely on that to keep their reports byte-identical
+for any ``--jobs`` value.
+
+Execution model
+---------------
+
+* ``workers <= 1`` (or a single job): the in-process fallback — no
+  executor, no pickling, no spawn cost.  This is the path CI smoke runs
+  and the golden tests compare against.
+* ``workers > 1``: a ``ProcessPoolExecutor`` over the ``spawn`` start
+  method.  ``spawn`` (rather than ``fork``) keeps workers identical
+  across platforms and free of inherited NumPy threading state; each
+  worker re-imports the package, so job functions must be module-level
+  importables (the job specs are frozen dataclasses for exactly this
+  reason) and the calling ``__main__`` must be re-importable — a
+  script file or ``python -m``, not code piped through stdin (a
+  standard ``spawn`` constraint).  Jobs are dispatched in chunks to
+  amortize IPC for large fine-grained job lists.
+
+Deterministic seeding
+---------------------
+
+Every run derives one ``numpy.random.SeedSequence`` child per job with
+:func:`derive_job_seeds` — ``SeedSequence(base_seed).spawn(n)`` — and
+reseeds NumPy's global generator from the job's child immediately
+before the job runs, in whichever process it landed.  A job's entropy
+is therefore a pure function of ``(base_seed, job index)``: results
+cannot depend on worker count, job-to-worker placement, or completion
+order.  Jobs that want explicit randomness receive a
+``numpy.random.Generator`` spawned from the same child.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from multiprocessing import get_context
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.jobs import JobSpec
+
+#: Progress callback signature: receives one line per job (the job's
+#: ``describe()``), fired in dispatch order in-process and in
+#: completion order in parallel mode.  Lines are not deduplicated —
+#: two jobs with equal descriptions produce two calls.
+ProgressFn = Callable[[str], None]
+
+
+def derive_job_seeds(base_seed: int, count: int) -> list[np.random.SeedSequence]:
+    """One independent ``SeedSequence`` child per job.
+
+    ``SeedSequence.spawn`` guarantees non-overlapping streams, and the
+    i-th child depends only on ``(base_seed, i)`` — never on how many
+    workers execute the list or in which order.
+
+    >>> a = derive_job_seeds(0, 3)
+    >>> b = derive_job_seeds(0, 3)
+    >>> [x.generate_state(1)[0] for x in a] == [y.generate_state(1)[0] for y in b]
+    True
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return list(np.random.SeedSequence(base_seed).spawn(count)) if count else []
+
+
+def execute_job(job: "JobSpec", seed_seq: np.random.SeedSequence):
+    """Run one job under its seed: the global NumPy RNG is reseeded from
+    the job's own ``SeedSequence`` child (so legacy ``np.random.*``
+    consumers inside the job are order-independent too) and the job
+    receives a dedicated ``Generator``."""
+    np.random.seed(seed_seq.generate_state(4))
+    return job.run(rng=np.random.default_rng(seed_seq))
+
+
+def _chunks(items: Sequence, size: int) -> Iterable[tuple[int, list]]:
+    for start in range(0, len(items), size):
+        yield start, list(items[start : start + size])
+
+
+def _run_chunk(payload: list) -> list:
+    """Worker-side chunk executor: ``payload`` is a list of
+    ``(job, seed_sequence)`` pairs, results returned in chunk order."""
+    return [execute_job(job, seed_seq) for job, seed_seq in payload]
+
+
+@contextmanager
+def _exported_package_path():
+    """Make sure spawned children can import ``repro``.
+
+    ``spawn`` ships the parent's ``sys.path`` to the child, which covers
+    the normal ``PYTHONPATH=src`` invocation; exporting the package root
+    through the environment additionally covers parents that grew their
+    path at runtime (embedding, notebooks).  The variable is restored on
+    exit — every spawn happens inside the executor's lifetime, and the
+    caller's environment is not ours to rewrite."""
+    import repro
+
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    before = os.environ.get("PYTHONPATH")
+    parts = [p for p in (before or "").split(os.pathsep) if p]
+    if pkg_root not in parts and pkg_root in sys.path:
+        os.environ["PYTHONPATH"] = os.pathsep.join([pkg_root, *parts])
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = before
+
+
+def run_jobs(
+    jobs: Sequence["JobSpec"],
+    workers: int = 1,
+    *,
+    base_seed: int = 0,
+    progress: ProgressFn | None = None,
+    chunk_size: int = 1,
+) -> list:
+    """Execute ``jobs`` and return their results in job order.
+
+    Parameters
+    ----------
+    jobs:
+        Job specs (hashable frozen dataclasses with ``run``/``describe``).
+    workers:
+        Process count; ``<= 1`` runs in-process with zero dispatch
+        overhead.  Results are independent of this value by
+        construction.
+    base_seed:
+        Root of the per-job ``SeedSequence`` tree (see
+        :func:`derive_job_seeds`).
+    progress:
+        Optional per-job callable.  In-process it fires *before* each
+        job (live progress, matching the serial harnesses' historical
+        timing); in parallel mode it fires as each job's chunk
+        completes.
+    chunk_size:
+        Jobs per dispatch unit.  The default of 1 suits the experiment
+        harnesses, whose jobs are whole encodes (seconds each); raise
+        it for large lists of sub-second jobs.
+    """
+    job_list = list(jobs)
+    if not job_list:
+        return []
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    seeds = derive_job_seeds(base_seed, len(job_list))
+    workers = max(1, int(workers))
+    if workers == 1 or len(job_list) == 1:
+        # Per-job reseeding must happen here too (or jobs consuming the
+        # global RNG would differ between worker counts), but the
+        # caller's global RNG stream is not ours to consume — save and
+        # restore it so ``run_jobs`` is side-effect-free in-process,
+        # exactly like the parallel path (which reseeds only workers).
+        rng_state = np.random.get_state()
+        try:
+            results = []
+            for job, seed_seq in zip(job_list, seeds):
+                if progress is not None:
+                    progress(job.describe())
+                results.append(execute_job(job, seed_seq))
+            return results
+        finally:
+            np.random.set_state(rng_state)
+
+    results_by_index: list = [None] * len(job_list)
+    workers = min(workers, len(job_list))
+    with _exported_package_path():
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        ) as executor:
+            futures = {}
+            for start, chunk in _chunks(list(zip(job_list, seeds)), chunk_size):
+                futures[executor.submit(_run_chunk, chunk)] = (start, len(chunk))
+            for future in as_completed(futures):
+                start, length = futures[future]
+                try:
+                    chunk_results = future.result()
+                except Exception as exc:
+                    # Fail fast: without cancel_futures the context
+                    # manager's shutdown would first run every queued
+                    # chunk to completion and discard the results.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    descriptions = ", ".join(
+                        j.describe() for j in job_list[start : start + length]
+                    )
+                    raise RuntimeError(f"parallel job failed ({descriptions}): {exc}") from exc
+                results_by_index[start : start + length] = chunk_results
+                if progress is not None:
+                    for job in job_list[start : start + length]:
+                        progress(job.describe())
+    return results_by_index

@@ -15,6 +15,7 @@ import repro.core.acbm
 import repro.core.classifier
 import repro.core.parameters
 import repro.me.estimator
+import repro.parallel.pool
 import repro.video.synthesis.sequences
 
 MODULES = [
@@ -25,6 +26,7 @@ MODULES = [
     repro.core.classifier,
     repro.core.parameters,
     repro.me.estimator,
+    repro.parallel.pool,
     repro.video.synthesis.sequences,
 ]
 

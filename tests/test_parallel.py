@@ -1,0 +1,257 @@
+"""Golden tests for the process-parallel orchestration layer.
+
+The contract under test: every experiment harness produces
+**byte-identical** output for any ``--jobs`` value — results merge in
+job order and all job inputs derive from explicit seeds — and the job
+pool's per-job seeding is a pure function of ``(base_seed, index)``.
+
+Process-spawning tests are deliberately few and tiny (each worker pays
+a spawn + import); the cheap determinism properties run in-process.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.codec.encoder import Encoder
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4_characterization import run_fig4
+from repro.experiments.rd_curves import (
+    SweepCell,
+    build_estimator,
+    run_rd_sweep,
+    sweep_jobs,
+)
+from repro.experiments.table1_complexity import run_table1
+from repro.parallel import (
+    DecodeJob,
+    EncodeJob,
+    Fig4PairJob,
+    JobSpec,
+    SweepJob,
+    derive_job_seeds,
+    run_jobs,
+)
+from repro.video.frame import FrameGeometry
+from repro.video.synthesis.sequences import make_sequence
+
+TINY = ExperimentConfig(
+    sequences=("miss_america",), qps=(30, 16), fps_list=(30,), frames=4
+)
+
+
+@dataclass(frozen=True)
+class SquareJob(JobSpec):
+    """Trivial picklable job for pool-mechanics tests."""
+
+    value: int
+
+    def describe(self) -> str:
+        return f"square {self.value}"
+
+    def run(self, rng=None):
+        return self.value * self.value
+
+
+@dataclass(frozen=True)
+class DrawJob(JobSpec):
+    """Returns one random draw — exercises the per-job seeding."""
+
+    index: int
+
+    def describe(self) -> str:
+        return f"draw {self.index}"
+
+    def run(self, rng=None):
+        # Both the provided generator and the reseeded global RNG must
+        # be deterministic per (base_seed, job index).
+        return (float(rng.random()), float(np.random.random()))
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_distinct(self):
+        a = derive_job_seeds(7, 4)
+        b = derive_job_seeds(7, 4)
+        states_a = [s.generate_state(2).tolist() for s in a]
+        states_b = [s.generate_state(2).tolist() for s in b]
+        assert states_a == states_b
+        assert len({tuple(s) for s in states_a}) == 4
+
+    def test_prefix_stable(self):
+        """Job i's seed does not depend on how many jobs follow it."""
+        three = derive_job_seeds(0, 3)
+        five = derive_job_seeds(0, 5)
+        assert [s.generate_state(1)[0] for s in three] == [
+            s.generate_state(1)[0] for s in five[:3]
+        ]
+
+    def test_empty_and_negative(self):
+        assert derive_job_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            derive_job_seeds(0, -1)
+
+
+class TestPoolMechanics:
+    def test_results_in_job_order(self):
+        jobs = [SquareJob(v) for v in (3, 1, 4, 1, 5)]
+        assert run_jobs(jobs) == [9, 1, 16, 1, 25]
+
+    def test_progress_in_process(self):
+        messages = []
+        run_jobs([SquareJob(2), SquareJob(3)], progress=messages.append)
+        assert messages == ["square 2", "square 3"]
+
+    def test_empty_job_list(self):
+        assert run_jobs([], workers=4) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            run_jobs([SquareJob(1)], chunk_size=0)
+
+    def test_draws_deterministic_per_job(self):
+        jobs = [DrawJob(i) for i in range(4)]
+        forward = run_jobs(jobs, base_seed=11)
+        assert run_jobs(jobs, base_seed=11) == forward
+        assert len({draw for draw, _ in forward}) == 4  # independent streams
+        assert run_jobs(jobs, base_seed=12) != forward
+
+    def test_spawned_workers_match_in_process(self):
+        """Placement/order independence: the same jobs (including ones
+        consuming the global RNG) give the same results from spawned
+        workers as from the serial fallback."""
+        jobs = [SquareJob(v) for v in range(6)] + [DrawJob(i) for i in range(2)]
+        serial = run_jobs(jobs, workers=1, base_seed=5)
+        parallel = run_jobs(jobs, workers=2, base_seed=5, chunk_size=3)
+        assert parallel == serial
+
+    def test_caller_rng_stream_preserved(self):
+        """In-process execution reseeds the global RNG per job but must
+        hand the caller's stream back untouched."""
+        np.random.seed(42)
+        expected_next = np.random.RandomState(42).random_sample(3)
+        assert np.random.random() == expected_next[0]
+        run_jobs([DrawJob(0), DrawJob(1)], base_seed=0)
+        assert np.random.random() == expected_next[1]
+
+    def test_in_process_exception_propagates(self):
+        @dataclass(frozen=True)
+        class BoomJob(JobSpec):
+            def describe(self) -> str:
+                return "boom"
+
+            def run(self, rng=None):
+                raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_jobs([BoomJob()], workers=1)
+
+
+class TestJobSpecs:
+    def test_specs_hashable(self):
+        jobs = {
+            EncodeJob("miss_america", 30, "pbm", 16, TINY),
+            DecodeJob(b"\x00\x01", use_engine=True),
+            Fig4PairJob(0, ((1, 0),), FrameGeometry(96, 80), 7, 16, 3),
+            SweepJob(TINY, ("pbm",)),
+        }
+        assert len(jobs) == 4
+
+    def test_sweep_job_expansion_order(self):
+        expanded = SweepJob(TINY, ("acbm", "pbm")).expand()
+        assert [(j.estimator, j.qp) for j in expanded] == [
+            ("acbm", 30), ("acbm", 16), ("pbm", 30), ("pbm", 16),
+        ]
+        assert sweep_jobs(TINY, ("acbm", "pbm")) == expanded
+
+    def test_borrowed_renders_rejects_mismatched_renders(self):
+        from repro.parallel import borrowed_renders
+
+        wrong_frames = make_sequence("miss_america", frames=5, seed=0)
+        with pytest.raises(ValueError, match="5 frames"):
+            with borrowed_renders({"miss_america": wrong_frames}, TINY):
+                pass
+        wrong_geometry = make_sequence(
+            "miss_america", frames=TINY.frames, seed=0, geometry=FrameGeometry(96, 80)
+        )
+        with pytest.raises(ValueError, match="config wants"):
+            with borrowed_renders({"miss_america": wrong_geometry}, TINY):
+                pass
+
+    def test_borrowed_renders_scoped_to_the_call(self):
+        """A caller-held render serves only the borrowing call — it must
+        not poison the process-global memo for later sweeps."""
+        from repro.parallel import borrowed_renders, clear_render_cache, rendered_source
+
+        clear_render_cache()
+        lent = make_sequence(
+            "miss_america", frames=TINY.frames, seed=99, geometry=TINY.geometry
+        )
+        with borrowed_renders({"miss_america": lent}, TINY):
+            assert rendered_source("miss_america", TINY) is lent
+        fresh = rendered_source("miss_america", TINY)
+        assert fresh is not lent  # evicted on exit; re-rendered from config.seed
+
+    def test_encode_job_matches_seed_serial_reference(self):
+        """One cell computed through the job spec equals the seed's
+        historical inline loop body."""
+        job = EncodeJob("miss_america", 30, "pbm", 16, TINY)
+        cell = job.run()
+        source = make_sequence(
+            "miss_america", frames=TINY.frames, seed=TINY.seed, geometry=TINY.geometry
+        )
+        clip = source.subsample(TINY.subsample_factor(30))
+        encoder = Encoder(
+            estimator=build_estimator("pbm", TINY), qp=16, keep_reconstruction=False
+        )
+        encode = encoder.encode(clip)
+        stats = encode.search_stats
+        reference = SweepCell(
+            sequence="miss_america",
+            fps=30,
+            estimator="pbm",
+            qp=16,
+            rate_kbps=encode.rate_kbps,
+            psnr_y=encode.mean_psnr_y,
+            avg_positions=stats.avg_positions_per_block,
+            full_search_fraction=stats.full_search_fraction,
+            skipped_mbs=sum(f.skipped_mbs for f in encode.frames),
+            mv_bits=sum(f.mv_bits for f in encode.frames),
+            coefficient_bits=sum(f.coefficient_bits for f in encode.frames),
+        )
+        assert cell == reference
+
+
+class TestHarnessEquivalence:
+    """Parallel sweeps are byte-identical to serial ones."""
+
+    def test_rd_sweep_jobs2_byte_identical(self):
+        serial = run_rd_sweep(TINY, estimators=("pbm",), jobs=1)
+        parallel = run_rd_sweep(TINY, estimators=("pbm",), jobs=2)
+        assert parallel.cells == serial.cells
+        assert parallel.as_text(30) == serial.as_text(30)
+
+    def test_table1_jobs4_byte_identical(self):
+        serial = run_table1(TINY, jobs=1)
+        parallel = run_table1(TINY, jobs=4)
+        assert parallel.as_text() == serial.as_text()
+        assert parallel.columns == serial.columns
+
+    def test_fig4_jobs2_identical(self):
+        kwargs = dict(
+            motions=((2, -1), (-3, 2), (5, 4)),
+            geometry=FrameGeometry(96, 80),
+            p=7,
+            seed=3,
+        )
+        serial = run_fig4(jobs=1, **kwargs)
+        parallel = run_fig4(jobs=2, **kwargs)
+        assert parallel.observations == serial.observations
+
+    def test_progress_fires_per_job_in_parallel(self):
+        messages = []
+        run_rd_sweep(TINY, estimators=("pbm",), jobs=2, progress=messages.append)
+        assert sorted(messages) == [
+            "miss_america@30fps pbm qp=16",
+            "miss_america@30fps pbm qp=30",
+        ]
