@@ -6,18 +6,32 @@ reproduces the encoder's reconstruction *exactly* (bit-exact closed
 loop), which pins down every VLC table, quantizer rounding rule and
 motion-compensation path on both sides.
 
-Two reconstruction paths produce identical frames:
+The decoder is split along the codec's two cost axes:
 
-* the **batched engine path** (default) parses each picture's symbols
-  in one sequential pass, then reconstructs the whole frame in batched
-  NumPy — one IDCT over every block, whole-frame luma/chroma motion
-  compensation through :class:`~repro.me.engine.ReferencePlane` /
-  :class:`~repro.me.engine.ChromaReferencePlane` caches, one batched
-  residual add + clamp per plane;
-* the **per-block path** (``use_engine=False``) is the seed decoder
-  loop, kept as the bit-exactness reference.
+* **symbol parse** — :func:`parse_picture` walks one picture's bits
+  into a :class:`ParsedPicture` (quantized levels, DC levels, motion
+  arrays).  On a word-level :class:`BitReader` every VLC symbol is one
+  LUT hit (:meth:`~repro.codec.vlc.VLCTable.decode`) and every
+  exp-Golomb code one peek; handed a
+  :class:`~repro.codec.bitstream.ScalarBitReader` the identical walk
+  runs through the seed per-bit reader, which is the equivalence
+  baseline;
+* **reconstruction** — :func:`reconstruct_picture` turns a parsed
+  picture into pixels with the batched engine kernels (one IDCT over
+  every block, whole-frame luma/chroma motion compensation through the
+  :class:`~repro.me.engine.ReferencePlane` caches).  The seed per-block
+  loop survives on ``use_engine=False`` as the bit-exactness reference.
 
-``tests/test_reconstruction.py`` proves the two paths bit-identical.
+Version-2 bitstreams (``Encoder(bitstream_version=2)``) delimit
+pictures with byte-aligned start codes and length fields, so
+:class:`FrameIndex` splits a stream into per-frame byte ranges without
+parsing — which is what lets :func:`decode_bitstream` parse frames'
+symbols **concurrently** (``jobs=N`` dispatches
+:class:`~repro.parallel.jobs.ParseFrameJob` specs through
+:func:`repro.parallel.run_jobs`) before the sequential batched
+reconstruction pass.  Both versions, both reconstruction paths and any
+job count produce bit-identical frames; ``tests/test_reconstruction.py``
+and ``tests/test_bitstream_v2.py`` pin that.
 """
 
 from __future__ import annotations
@@ -28,15 +42,23 @@ import numpy as np
 
 from repro.codec.bitstream import BitReader
 from repro.codec.dct import inverse_dct
-from repro.codec.encoder import START_CODE, START_CODE_BITS
+from repro.codec.encoder import (
+    FRAME_LENGTH_BITS,
+    FRAME_START_CODE,
+    FRAME_START_CODE_BITS,
+    START_CODE,
+    START_CODE_BITS,
+)
 from repro.codec.macroblock import (
     decode_inter_block,
     decode_intra_block,
     join_luma_blocks,
     predict_chroma_block,
+    read_block_levels,
     read_events,
 )
 from repro.codec.mv_coding import predict_mv, read_mvd
+from repro.codec.vlc import read_ue_golomb_bitwise
 from repro.codec.quantizer import dequantize, dequantize_intra_dc
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
 from repro.codec.zigzag import events_to_block
@@ -52,6 +74,12 @@ from repro.me.subpel import predict_block
 from repro.me.types import MotionField, MotionVector
 from repro.video.frame import Frame, FrameGeometry
 
+#: Bits in a picture header (after any version-2 framing).
+_HEADER_BITS = START_CODE_BITS + 1 + 5 + 5 + 16
+
+#: Byte prefix shared by all version-2 frame start codes.
+_V2_PREFIX = FRAME_START_CODE.to_bytes(4, "big")[:3]
+
 
 @dataclass(frozen=True)
 class PictureHeader:
@@ -66,9 +94,376 @@ class PictureHeader:
         return FrameGeometry(16 * self.mb_cols, 16 * self.mb_rows)
 
 
+def detect_version(bitstream: bytes) -> int:
+    """1 or 2 from the stream's opening bytes.
+
+    A version-1 stream opens with the 16-bit picture start code
+    (0x7E7E); a version-2 stream opens with the byte-aligned 32-bit
+    frame start code, whose ``00 00 01`` prefix a version-1 stream can
+    never begin with.
+    """
+    return 2 if bitstream[:3] == _V2_PREFIX else 1
+
+
+def read_picture_header(reader) -> PictureHeader:
+    """Read and validate one picture header at the reader's cursor."""
+    marker = reader.read_bits(START_CODE_BITS)
+    if marker != START_CODE:
+        raise ValueError(f"bad start code {marker:#x}")
+    frame_type = "P" if reader.read_bit() else "I"
+    qp = reader.read_bits(5)
+    p = reader.read_bits(5)
+    mb_rows = reader.read_bits(8)
+    mb_cols = reader.read_bits(8)
+    if not 1 <= qp <= 31:
+        raise ValueError(f"decoded Qp {qp} out of range")
+    return PictureHeader(frame_type, qp, p, mb_rows, mb_cols)
+
+
+# -- symbol parse ---------------------------------------------------------
+
+
+@dataclass
+class ParsedPicture:
+    """One picture's fully parsed symbols, reconstruction-ready.
+
+    Intra pictures carry ``dc_levels`` (``(rows*cols*6,)``) and flat
+    ``levels`` (``(rows*cols*6, 8, 8)``); inter pictures carry
+    ``levels`` shaped ``(rows, cols, 6, 8, 8)`` plus the decoded motion
+    field as half-pel component arrays ``hx``/``hy``.  Plain header +
+    NumPy arrays, so a picture parsed in a worker process crosses the
+    pickle boundary cheaply.
+    """
+
+    header: PictureHeader
+    levels: np.ndarray
+    dc_levels: np.ndarray | None = None
+    hx: np.ndarray | None = None
+    hy: np.ndarray | None = None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ParsedPicture):
+            return NotImplemented
+
+        def same(a, b):
+            if a is None or b is None:
+                return (a is None) == (b is None)
+            return np.array_equal(a, b)
+
+        return (
+            self.header == other.header
+            and same(self.levels, other.levels)
+            and same(self.dc_levels, other.dc_levels)
+            and same(self.hx, other.hx)
+            and same(self.hy, other.hy)
+        )
+
+
+def _read_coded_flags(reader) -> list[bool]:
+    """MCBPC + CBPY → the six per-block coded flags (Y0..Y3, Cb, Cr)."""
+    mcbpc = MCBPC_TABLE.decode(reader)
+    cbpy = CBPY_TABLE.decode(reader)
+    coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
+    coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
+    return coded_flags
+
+
+def _parse_intra_body(reader, header: PictureHeader) -> ParsedPicture:
+    """Reference intra parse: seed event-list walk, any reader."""
+    rows, cols = header.mb_rows, header.mb_cols
+    levels = np.zeros((rows * cols * 6, 8, 8), dtype=np.int64)
+    dc_levels = np.empty(rows * cols * 6, dtype=np.int64)
+    k = 0
+    for _ in range(rows * cols):
+        coded_flags = _read_coded_flags(reader)
+        for coded in coded_flags:
+            dc_levels[k] = reader.read_bits(8)
+            if coded:
+                levels[k] = events_to_block(read_events(reader), skip_first=1)
+            k += 1
+    return ParsedPicture(header=header, levels=levels, dc_levels=dc_levels)
+
+
+def _parse_inter_body(reader, header: PictureHeader) -> ParsedPicture:
+    """Reference inter parse: seed event-list walk, any reader."""
+    rows, cols = header.mb_rows, header.mb_cols
+    coded_field = MotionField(rows, cols)
+    levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            if reader.read_bit():  # COD = 1: skipped
+                coded_field.set(r, c, MotionVector.zero())
+                continue
+            coded_flags = _read_coded_flags(reader)
+            predictor = predict_mv(coded_field, r, c)
+            mv = read_mvd(reader, predictor)
+            coded_field.set(r, c, mv)
+            for k, coded in enumerate(coded_flags):
+                if coded:
+                    levels[r, c, k] = events_to_block(read_events(reader))
+    hx, hy = coded_field.to_arrays()
+    return ParsedPicture(header=header, levels=levels, hx=hx, hy=hy)
+
+
+# LUTs bound once for the fast bodies below.
+_CBPY_LUT, _CBPY_BITS = CBPY_TABLE.lut, CBPY_TABLE.lut_first_bits
+_MCBPC_LUT, _MCBPC_BITS = MCBPC_TABLE.lut, MCBPC_TABLE.lut_first_bits
+
+
+def _parse_intra_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPicture:
+    """Word-level intra parse: LUT symbol hits, levels written straight
+    into the batched arrays.  Bit-identical to :func:`_parse_intra_body`."""
+    rows, cols = header.mb_rows, header.mb_cols
+    levels = np.zeros((rows * cols * 6, 8, 8), dtype=np.int64)
+    flat = levels.reshape(rows * cols * 6, 64)
+    dc_levels = np.empty(rows * cols * 6, dtype=np.int64)
+    read_vlc = reader.read_vlc
+    read_bits = reader.read_bits
+    k = 0
+    for _ in range(rows * cols):
+        mcbpc = read_vlc(_MCBPC_LUT, _MCBPC_BITS)
+        cbpy = read_vlc(_CBPY_LUT, _CBPY_BITS)
+        for coded in (cbpy & 1, cbpy & 2, cbpy & 4, cbpy & 8, mcbpc & 2, mcbpc & 1):
+            dc_levels[k] = read_bits(8)
+            if coded:
+                read_block_levels(reader, flat[k], skip_first=1)
+            k += 1
+    return ParsedPicture(header=header, levels=levels, dc_levels=dc_levels)
+
+
+def _parse_inter_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPicture:
+    """Word-level inter parse.  Bit-identical to :func:`_parse_inter_body`,
+    with the motion field held as plain int rows (the H.263 median
+    prediction inlined) instead of per-vector objects."""
+    rows, cols = header.mb_rows, header.mb_cols
+    levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+    flat = levels.reshape(rows, cols, 6, 64)
+    hx = [[0] * cols for _ in range(rows)]
+    hy = [[0] * cols for _ in range(rows)]
+    read_vlc = reader.read_vlc
+    read_bit = reader.read_bit
+    read_ue = reader.read_ue
+    for r in range(rows):
+        row_hx, row_hy = hx[r], hy[r]
+        for c in range(cols):
+            if read_bit():  # COD = 1: skipped, zero vector, no residual
+                continue
+            mcbpc = read_vlc(_MCBPC_LUT, _MCBPC_BITS)
+            cbpy = read_vlc(_CBPY_LUT, _CBPY_BITS)
+            # Median MVD predictor (see repro.codec.mv_coding): on the
+            # top row the predictor is the left vector (zero at the
+            # corner); elsewhere left/above/above-right with zero for
+            # out-of-picture candidates.
+            if r == 0:
+                if c:
+                    px, py = row_hx[c - 1], row_hy[c - 1]
+                else:
+                    px = py = 0
+            else:
+                lx, ly = (row_hx[c - 1], row_hy[c - 1]) if c else (0, 0)
+                up_hx, up_hy = hx[r - 1], hy[r - 1]
+                ax, ay = up_hx[c], up_hy[c]
+                arx, ary = (up_hx[c + 1], up_hy[c + 1]) if c + 1 < cols else (0, 0)
+                px = sorted((lx, ax, arx))[1]
+                py = sorted((ly, ay, ary))[1]
+            mapped = read_ue()
+            if mapped < 0:
+                mapped = read_ue_golomb_bitwise(reader)
+            row_hx[c] = px + ((mapped + 1) >> 1 if mapped & 1 else -(mapped >> 1))
+            mapped = read_ue()
+            if mapped < 0:
+                mapped = read_ue_golomb_bitwise(reader)
+            row_hy[c] = py + ((mapped + 1) >> 1 if mapped & 1 else -(mapped >> 1))
+            mb_flat = flat[r, c]
+            if cbpy & 1:
+                read_block_levels(reader, mb_flat[0])
+            if cbpy & 2:
+                read_block_levels(reader, mb_flat[1])
+            if cbpy & 4:
+                read_block_levels(reader, mb_flat[2])
+            if cbpy & 8:
+                read_block_levels(reader, mb_flat[3])
+            if mcbpc & 2:
+                read_block_levels(reader, mb_flat[4])
+            if mcbpc & 1:
+                read_block_levels(reader, mb_flat[5])
+    return ParsedPicture(
+        header=header,
+        levels=levels,
+        hx=np.array(hx, dtype=np.int64),
+        hy=np.array(hy, dtype=np.int64),
+    )
+
+
+def parse_picture_body(reader, header: PictureHeader) -> ParsedPicture:
+    """Parse the macroblock layer of a picture whose header is already
+    consumed.  Word-level readers take the LUT fast bodies; readers
+    exposing only ``read_bit`` (``ScalarBitReader``) take the seed
+    event-list walk — the two are bit-identical on every stream.
+    """
+    fast = hasattr(reader, "read_vlc")
+    if header.frame_type == "I":
+        return _parse_intra_body_fast(reader, header) if fast else _parse_intra_body(reader, header)
+    return _parse_inter_body_fast(reader, header) if fast else _parse_inter_body(reader, header)
+
+
+def parse_picture(reader) -> ParsedPicture:
+    """Parse one picture (header + macroblock layer) at the cursor.
+
+    Pure symbol work — no pixels are touched, which is what makes this
+    half of the decoder safe to run per-frame in parallel workers.
+    """
+    return parse_picture_body(reader, read_picture_header(reader))
+
+
+def parse_bitstream_symbols(bitstream: bytes, reader_factory=BitReader) -> list[ParsedPicture]:
+    """Parse every picture in a (version-1 or -2) stream sequentially.
+
+    ``reader_factory`` selects the bit-reader implementation — the
+    default word-level :class:`BitReader` drives the LUT decode path;
+    passing :class:`~repro.codec.bitstream.ScalarBitReader` replays the
+    seed per-bit walk over the same bytes, which is how the equivalence
+    tests and ``BENCH_vlc.json`` compare the two.
+    """
+    version = detect_version(bitstream)
+    reader = reader_factory(bitstream)
+    framing_bits = FRAME_START_CODE_BITS + FRAME_LENGTH_BITS if version == 2 else 0
+    parsed: list[ParsedPicture] = []
+    while True:
+        if version == 2:
+            reader.align()
+        if reader.bits_remaining < framing_bits + _HEADER_BITS:
+            return parsed
+        if version == 2:
+            marker = reader.read_bits(FRAME_START_CODE_BITS)
+            if marker != FRAME_START_CODE:
+                raise ValueError(f"bad frame start code {marker:#x}")
+            length = reader.read_bits(FRAME_LENGTH_BITS)
+            expected_end = reader.bits_consumed // 8 + length
+            parsed.append(parse_picture(reader))
+            check_frame_length(reader, expected_end)
+        else:
+            parsed.append(parse_picture(reader))
+
+
+def check_frame_length(reader, expected_end: int) -> None:
+    """Validate a version-2 length field against the parse that just
+    finished: after consuming the frame's padding, the cursor must sit
+    exactly where the field said the payload ends.  This keeps the
+    sequential decoder exactly as strict as the :class:`FrameIndex`
+    path, which *trusts* length fields to slice the stream — a corrupt
+    field must fail in every mode, never decode in one and raise in
+    another."""
+    reader.align()
+    actual_end = reader.bits_consumed // 8
+    if actual_end != expected_end:
+        raise ValueError(
+            f"frame length field says the payload ends at byte {expected_end}, "
+            f"but the parse ended at byte {actual_end}"
+        )
+
+
+# -- start-code frame index ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameIndex:
+    """Byte ranges of every picture in a version-2 stream.
+
+    ``ranges[i]`` is the half-open byte span of picture ``i``'s payload
+    (picture header through padding, excluding the start code and
+    length field) — exactly what :func:`parse_picture` consumes from
+    offset zero of the slice.  Built by :meth:`scan`, which hops
+    length fields without parsing any symbols, so indexing a stream is
+    O(frames), not O(bits).  A trailing fragment too short to hold a
+    minimal frame is ignored, mirroring :attr:`Decoder.has_more` — the
+    indexed and sequential decoders accept exactly the same streams.
+    """
+
+    ranges: tuple[tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def payload(self, bitstream: bytes, index: int) -> bytes:
+        start, end = self.ranges[index]
+        return bitstream[start:end]
+
+    @classmethod
+    def scan(cls, bitstream: bytes) -> "FrameIndex":
+        if detect_version(bitstream) != 2:
+            raise ValueError(
+                "FrameIndex requires a version-2 stream (byte-aligned start "
+                "codes); version-1 streams are not splittable without parsing"
+            )
+        start_bytes = FRAME_START_CODE.to_bytes(FRAME_START_CODE_BITS // 8, "big")
+        length_bytes = FRAME_LENGTH_BITS // 8
+        # Smallest byte count that can still open a frame (framing +
+        # picture header) — the byte-level twin of ``Decoder.has_more``.
+        min_frame_bytes = (
+            FRAME_START_CODE_BITS + FRAME_LENGTH_BITS + _HEADER_BITS + 7
+        ) // 8
+        ranges: list[tuple[int, int]] = []
+        pos = 0
+        while pos + min_frame_bytes <= len(bitstream):
+            header_end = pos + len(start_bytes) + length_bytes
+            if bitstream[pos : pos + len(start_bytes)] != start_bytes:
+                raise ValueError(f"bad frame start code at byte {pos}")
+            length = int.from_bytes(bitstream[pos + len(start_bytes) : header_end], "big")
+            end = header_end + length
+            if end > len(bitstream):
+                raise ValueError(f"frame at byte {pos} overruns the stream")
+            ranges.append((header_end, end))
+            pos = end
+        return cls(ranges=tuple(ranges))
+
+
+# -- reconstruction -------------------------------------------------------
+
+
+def reconstruct_picture(
+    parsed: ParsedPicture, reference: Frame | None, frame_index: int = 0
+) -> Frame:
+    """Pixels from parsed symbols via the batched engine kernels.
+
+    Skipped macroblocks fold into the batched path naturally: their
+    vector is zero (the motion compensation degenerates to the
+    reference slice) and their residual coefficients stay zero, so
+    ``rint(0 + pred)`` reproduces the reference copy bit-for-bit.
+    """
+    header = parsed.header
+    if header.frame_type == "I":
+        rows, cols = header.mb_rows, header.mb_cols
+        coefficients = dequantize(parsed.levels, header.qp)
+        coefficients[:, 0, 0] = dequantize_intra_dc(parsed.dc_levels)
+        coefficients = coefficients.reshape(rows, cols, 6, 8, 8)
+        pixels = np.clip(np.rint(inverse_dct(coefficients)), 0, 255).astype(np.uint8)
+        y = tile_luma_blocks(pixels[:, :, :4])
+        cb = tile_blocks(pixels[:, :, 4])
+        cr = tile_blocks(pixels[:, :, 5])
+        return Frame(y, cb, cr, index=frame_index)
+    if reference is None:
+        raise ValueError("P-frame without a decoded reference")
+    if reference.geometry != header.geometry:
+        raise ValueError(
+            f"geometry change mid-stream: {reference.geometry} → {header.geometry}"
+        )
+    coefficients = dequantize(parsed.levels, header.qp)
+    plane = ReferencePlane(reference.y)
+    chroma = ChromaReferencePlane(reference.cb, reference.cr)
+    pred_y = frame_mc_luma(plane, parsed.hx, parsed.hy)
+    pred_cb, pred_cr = chroma.mc_frame(parsed.hx, parsed.hy, header.p)
+    residual = inverse_dct(coefficients)
+    y = add_residual_clip(pred_y, tile_luma_blocks(residual[:, :, :4]))
+    cb = add_residual_clip(pred_cb, tile_blocks(residual[:, :, 4]))
+    cr = add_residual_clip(pred_cr, tile_blocks(residual[:, :, 5]))
+    return Frame(y, cb, cr, index=frame_index)
+
+
 class Decoder:
     """Stateful decoder: feed it one bitstream, pull frames until
-    exhaustion.
+    exhaustion.  Handles both bitstream versions transparently (the
+    opening bytes disambiguate — see :func:`detect_version`).
 
     Parameters
     ----------
@@ -85,78 +480,49 @@ class Decoder:
         self._reference: Frame | None = None
         self._frame_index = 0
         self._use_engine = bool(use_engine)
+        self.version = detect_version(bitstream)
 
     @property
     def has_more(self) -> bool:
-        """Whether another picture header plausibly follows (at least a
-        header's worth of bits remains)."""
-        return self._reader.bits_remaining >= START_CODE_BITS + 1 + 5 + 5 + 16
+        """Whether another picture plausibly follows (at least a
+        framing + header's worth of bits remains past alignment)."""
+        remaining = self._reader.bits_remaining
+        if self.version == 2:
+            remaining -= (-self._reader.bits_consumed) & 7  # alignment padding
+            return remaining >= FRAME_START_CODE_BITS + FRAME_LENGTH_BITS + _HEADER_BITS
+        return remaining >= _HEADER_BITS
 
-    def _read_header(self) -> PictureHeader:
-        marker = self._reader.read_bits(START_CODE_BITS)
-        if marker != START_CODE:
-            raise ValueError(f"bad start code {marker:#x}")
-        frame_type = "P" if self._reader.read_bit() else "I"
-        qp = self._reader.read_bits(5)
-        p = self._reader.read_bits(5)
-        mb_rows = self._reader.read_bits(8)
-        mb_cols = self._reader.read_bits(8)
-        if not 1 <= qp <= 31:
-            raise ValueError(f"decoded Qp {qp} out of range")
-        return PictureHeader(frame_type, qp, p, mb_rows, mb_cols)
+    def _read_framing(self) -> int:
+        """Consume the version-2 alignment + start code + length field;
+        returns the byte offset the length field says the payload ends
+        at (validated after the frame parses — see
+        :func:`check_frame_length`)."""
+        self._reader.align()
+        marker = self._reader.read_bits(FRAME_START_CODE_BITS)
+        if marker != FRAME_START_CODE:
+            raise ValueError(f"bad frame start code {marker:#x}")
+        length = self._reader.read_bits(FRAME_LENGTH_BITS)
+        return self._reader.bits_consumed // 8 + length
 
     def decode_frame(self) -> Frame:
-        header = self._read_header()
-        if header.frame_type == "I":
-            if self._use_engine:
-                frame = self._decode_intra_batched(header)
-            else:
-                frame = self._decode_intra_per_block(header)
+        expected_end = self._read_framing() if self.version == 2 else None
+        header = read_picture_header(self._reader)
+        if header.frame_type == "P" and self._reference is None:
+            raise ValueError("P-frame without a decoded reference")
+        if self._use_engine:
+            parsed = parse_picture_body(self._reader, header)
+            frame = reconstruct_picture(parsed, self._reference, self._frame_index)
+        elif header.frame_type == "I":
+            frame = self._decode_intra_per_block(header)
         else:
-            if self._reference is None:
-                raise ValueError("P-frame without a decoded reference")
-            if self._use_engine:
-                frame = self._decode_inter_batched(header)
-            else:
-                frame = self._decode_inter_per_block(header)
+            frame = self._decode_inter_per_block(header)
+        if expected_end is not None:
+            check_frame_length(self._reader, expected_end)
         self._reference = frame
         self._frame_index += 1
         return frame
 
-    # -- shared symbol parsing -------------------------------------------
-
-    def _read_coded_flags(self) -> list[bool]:
-        """MCBPC + CBPY → the six per-block coded flags (Y0..Y3, Cb, Cr)."""
-        mcbpc = MCBPC_TABLE.decode(self._reader)
-        cbpy = CBPY_TABLE.decode(self._reader)
-        coded_flags = [bool(cbpy & (1 << k)) for k in range(4)]
-        coded_flags += [bool(mcbpc & 2), bool(mcbpc & 1)]
-        return coded_flags
-
-    # -- intra frames ----------------------------------------------------
-
-    def _decode_intra_batched(self, header: PictureHeader) -> Frame:
-        """Parse every intra block's symbols, then dequantize, IDCT and
-        round/clamp the whole frame in one batched pass each."""
-        rows, cols = header.mb_rows, header.mb_cols
-        levels = np.zeros((rows * cols * 6, 8, 8), dtype=np.int64)
-        dc_levels = np.empty(rows * cols * 6, dtype=np.int64)
-        k = 0
-        for _ in range(rows * cols):
-            coded_flags = self._read_coded_flags()
-            for coded in coded_flags:
-                dc_levels[k] = self._reader.read_bits(8)
-                if coded:
-                    levels[k] = events_to_block(read_events(self._reader), skip_first=1)
-                k += 1
-        coefficients = dequantize(levels, header.qp)
-        coefficients[:, 0, 0] = dequantize_intra_dc(dc_levels)
-        coefficients = coefficients.reshape(rows, cols, 6, 8, 8)
-        pixels = np.clip(np.rint(inverse_dct(coefficients)), 0, 255).astype(np.uint8)
-        y = tile_luma_blocks(pixels[:, :, :4])
-        cb = tile_blocks(pixels[:, :, 4])
-        cr = tile_blocks(pixels[:, :, 5])
-        return Frame(y, cb, cr, index=self._frame_index)
+    # -- seed per-block reconstruction (bit-exactness reference) ---------
 
     def _decode_intra_per_block(self, header: PictureHeader) -> Frame:
         g = header.geometry
@@ -165,7 +531,7 @@ class Decoder:
         cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
         for r in range(header.mb_rows):
             for c in range(header.mb_cols):
-                coded_flags = self._read_coded_flags()
+                coded_flags = _read_coded_flags(self._reader)
                 blocks = []
                 for coded in coded_flags:
                     dc_level = self._reader.read_bits(8)
@@ -176,47 +542,6 @@ class Decoder:
                 y[y0 : y0 + 16, x0 : x0 + 16] = join_luma_blocks(pixels[:4])
                 cb[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[4]
                 cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[5]
-        return Frame(y, cb, cr, index=self._frame_index)
-
-    # -- inter frames ----------------------------------------------------
-
-    def _decode_inter_batched(self, header: PictureHeader) -> Frame:
-        """Sequential symbol parse, then whole-frame reconstruction.
-
-        Skipped macroblocks fold into the batched path naturally: their
-        vector is zero (the motion compensation degenerates to the
-        reference slice) and their residual coefficients stay zero, so
-        ``rint(0 + pred)`` reproduces the reference copy bit-for-bit.
-        """
-        g = header.geometry
-        ref = self._reference
-        if ref.geometry != g:
-            raise ValueError(f"geometry change mid-stream: {ref.geometry} → {g}")
-        rows, cols = header.mb_rows, header.mb_cols
-        coded_field = MotionField(rows, cols)
-        levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
-        for r in range(rows):
-            for c in range(cols):
-                if self._reader.read_bit():  # COD = 1: skipped
-                    coded_field.set(r, c, MotionVector.zero())
-                    continue
-                coded_flags = self._read_coded_flags()
-                predictor = predict_mv(coded_field, r, c)
-                mv = read_mvd(self._reader, predictor)
-                coded_field.set(r, c, mv)
-                for k, coded in enumerate(coded_flags):
-                    if coded:
-                        levels[r, c, k] = events_to_block(read_events(self._reader))
-        coefficients = dequantize(levels, header.qp)
-        hx, hy = coded_field.to_arrays()
-        plane = ReferencePlane(ref.y)
-        chroma = ChromaReferencePlane(ref.cb, ref.cr)
-        pred_y = frame_mc_luma(plane, hx, hy)
-        pred_cb, pred_cr = chroma.mc_frame(hx, hy, header.p)
-        residual = inverse_dct(coefficients)
-        y = add_residual_clip(pred_y, tile_luma_blocks(residual[:, :, :4]))
-        cb = add_residual_clip(pred_cb, tile_blocks(residual[:, :, 4]))
-        cr = add_residual_clip(pred_cr, tile_blocks(residual[:, :, 5]))
         return Frame(y, cb, cr, index=self._frame_index)
 
     def _decode_inter_per_block(self, header: PictureHeader) -> Frame:
@@ -239,7 +564,7 @@ class Decoder:
                     cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cb[cy0 : cy0 + 8, cx0 : cx0 + 8]
                     cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cr[cy0 : cy0 + 8, cx0 : cx0 + 8]
                     continue
-                coded_flags = self._read_coded_flags()
+                coded_flags = _read_coded_flags(self._reader)
                 predictor = predict_mv(coded_field, r, c)
                 mv = read_mvd(self._reader, predictor)
                 coded_field.set(r, c, mv)
@@ -264,9 +589,24 @@ class Decoder:
 
 
 def decode_bitstream(
-    bitstream: bytes, frames: int | None = None, use_engine: bool = True
+    bitstream: bytes,
+    frames: int | None = None,
+    use_engine: bool = True,
+    jobs: int = 1,
+    base_seed: int = 0,
 ) -> list[Frame]:
     """Decode ``frames`` pictures (or all that fit) from a bitstream.
+
+    ``jobs > 1`` on a version-2 stream splits it with
+    :class:`FrameIndex` and parses the frames' symbols concurrently
+    (:class:`~repro.parallel.jobs.ParseFrameJob` through
+    :func:`repro.parallel.run_jobs`), then reconstructs sequentially
+    through the batched engine — the closed prediction loop makes
+    reconstruction inherently serial, but by then the per-frame cost is
+    a handful of vectorized kernels.  Version-1 streams (not splittable
+    without parsing) and the per-block reference path
+    (``use_engine=False``) ignore ``jobs`` and decode serially; results
+    are bit-identical in every mode.
 
     >>> from repro.video.synthesis.sequences import make_sequence
     >>> from repro.codec.encoder import encode_sequence
@@ -276,8 +616,24 @@ def decode_bitstream(
     >>> all(d == r for d, r in zip(decoded, result.reconstruction))
     True
     """
+    if jobs > 1 and use_engine and detect_version(bitstream) == 2:
+        from repro.parallel import ParseFrameJob, run_jobs
+
+        index = FrameIndex.scan(bitstream)
+        ranges = index.ranges if frames is None else index.ranges[:frames]
+        parsed = run_jobs(
+            [ParseFrameJob(payload=bitstream[s:e]) for s, e in ranges],
+            workers=jobs,
+            base_seed=base_seed,
+        )
+        out: list[Frame] = []
+        reference: Frame | None = None
+        for i, picture in enumerate(parsed):
+            reference = reconstruct_picture(picture, reference, i)
+            out.append(reference)
+        return out
     decoder = Decoder(bitstream, use_engine=use_engine)
-    out: list[Frame] = []
+    out = []
     while decoder.has_more and (frames is None or len(out) < frames):
         out.append(decoder.decode_frame())
     return out

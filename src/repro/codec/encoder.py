@@ -15,7 +15,7 @@ complexity table, and PSNR/bits feed the RD curves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass, field as dataclass_field, replace as dataclass_replace
 
 import numpy as np
 
@@ -44,6 +44,17 @@ from repro.video.sequence import Sequence
 #: Picture start code value and width (stand-in for H.263's PSC).
 START_CODE = 0x7E7E
 START_CODE_BITS = 16
+
+#: Version-2 framing: each picture is preceded by a byte-aligned
+#: 32-bit frame start code and a 32-bit payload length in bytes, so a
+#: scanner (:class:`repro.codec.decoder.FrameIndex`) can split the
+#: stream into per-frame byte ranges without parsing a single symbol.
+#: The ``00 00 01`` prefix can never open a version-1 stream (those
+#: begin with the 0x7E7E PSC), which is what makes version detection a
+#: three-byte check.
+FRAME_START_CODE = 0x000001B6
+FRAME_START_CODE_BITS = 32
+FRAME_LENGTH_BITS = 32
 
 
 @dataclass(frozen=True)
@@ -74,6 +85,7 @@ class EncodeResult:
     frames: list[FrameRecord]
     bitstream: bytes
     reconstruction: list[Frame] = dataclass_field(default_factory=list)
+    bitstream_version: int = 1
 
     @property
     def total_bits(self) -> int:
@@ -144,6 +156,14 @@ class Encoder:
         paths emit byte-identical bitstreams (this flag is independent
         of the estimator's own ``use_engine``, which governs the
         *search*).
+    bitstream_version:
+        ``1`` (default) emits the seed format, byte-identical to the
+        original encoder: pictures packed back to back with no
+        alignment.  ``2`` prefixes every picture with a byte-aligned
+        frame start code and a byte-length field (and zero-pads each
+        picture to a byte boundary), so the stream is splittable into
+        per-frame ranges without parsing — the symbols inside each
+        picture are bit-identical to version 1.
     """
 
     def __init__(
@@ -153,6 +173,7 @@ class Encoder:
         estimator_kwargs: dict | None = None,
         keep_reconstruction: bool = True,
         use_engine: bool = True,
+        bitstream_version: int = 1,
     ) -> None:
         self.qp = check_qp(qp)
         if isinstance(estimator, str):
@@ -162,6 +183,9 @@ class Encoder:
         self.estimator = estimator
         self.keep_reconstruction = keep_reconstruction
         self.use_engine = use_engine
+        if bitstream_version not in (1, 2):
+            raise ValueError(f"bitstream_version must be 1 or 2, got {bitstream_version}")
+        self.bitstream_version = bitstream_version
 
     # -- public API ----------------------------------------------------
 
@@ -173,6 +197,14 @@ class Encoder:
         prev_recon: Frame | None = None
         prev_field: MotionField | None = None
         for i, frame in enumerate(sequence):
+            framed = self.bitstream_version == 2
+            if framed:
+                frame_start_bits = writer.bit_count
+                writer.align()
+                writer.write_bits(FRAME_START_CODE, FRAME_START_CODE_BITS)
+                length_pos = writer.byte_length
+                writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
+                payload_start = writer.byte_length
             if i == 0:
                 bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
                 record = FrameRecord(
@@ -210,6 +242,13 @@ class Encoder:
                     coefficient_bits=coef_bits,
                 )
                 prev_field = field
+            if framed:
+                # Close the frame: pad to a byte boundary, backpatch the
+                # length field, and charge the framing + padding bits to
+                # the frame so v2 rate numbers reflect emitted bytes.
+                writer.align()
+                writer.patch_u32(length_pos, writer.byte_length - payload_start)
+                record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
             records.append(record)
             prev_recon = recon
             if self.keep_reconstruction:
@@ -222,6 +261,7 @@ class Encoder:
             frames=records,
             bitstream=writer.getvalue(),
             reconstruction=reconstruction,
+            bitstream_version=self.bitstream_version,
         )
 
     # -- frame coding ----------------------------------------------------
@@ -374,6 +414,7 @@ def encode_sequence(
     estimator_kwargs: dict | None = None,
     keep_reconstruction: bool = False,
     use_engine: bool = True,
+    bitstream_version: int = 1,
 ) -> EncodeResult:
     """One-call convenience wrapper around :class:`Encoder`.
 
@@ -389,5 +430,6 @@ def encode_sequence(
         estimator_kwargs=estimator_kwargs,
         keep_reconstruction=keep_reconstruction,
         use_engine=use_engine,
+        bitstream_version=bitstream_version,
     )
     return encoder.encode(sequence)

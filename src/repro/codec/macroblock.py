@@ -28,7 +28,12 @@ from repro.codec.vlc_tables import (
     TCOEF_TABLE,
     tcoef_symbol,
 )
-from repro.codec.zigzag import CoefficientEvent, block_to_events, events_to_block
+from repro.codec.zigzag import (
+    ZIGZAG_INDEX,
+    CoefficientEvent,
+    block_to_events,
+    events_to_block,
+)
 from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.search_window import clamped_window, half_pel_window
 from repro.me.subpel import half_pel_block
@@ -141,6 +146,64 @@ def read_events(reader: BitReader) -> list[CoefficientEvent]:
         events.append(CoefficientEvent(last=last, run=run, level=level))
         if last:
             return events
+
+
+#: TCOEF LUT bound once for the hot block reader below.
+_TCOEF_LUT = TCOEF_TABLE.lut
+_TCOEF_LUT_BITS = TCOEF_TABLE.lut_first_bits
+
+#: Zig-zag scan positions as a plain list (numpy scalar indexing is
+#: several times slower in a per-event loop).
+_ZIGZAG_FLAT: list[int] = ZIGZAG_INDEX.tolist()
+
+
+def read_block_levels(reader, out_flat, skip_first: int = 0) -> None:
+    """Decode one coded block's events straight into ``out_flat``.
+
+    The fast-path equivalent of
+    ``events_to_block(read_events(reader), skip_first)`` for word-level
+    readers: TCOEF symbols come off the LUT via ``reader.read_vlc`` and
+    the levels land at their inverse-zig-zag positions in ``out_flat``
+    (a zeroed length-64 raster-order view of the block), with no
+    intermediate :class:`CoefficientEvent` objects.  Structure errors
+    raise exactly like the event-list path.
+    """
+    read_vlc = reader.read_vlc
+    read_bit = reader.read_bit
+    zigzag = _ZIGZAG_FLAT
+    pos = skip_first
+    overflow = -1
+    while True:
+        symbol = read_vlc(_TCOEF_LUT, _TCOEF_LUT_BITS)
+        if symbol.__class__ is tuple:
+            last, run, level = symbol
+            if read_bit():
+                level = -level
+        else:  # ESCAPE
+            last = read_bit()
+            run = reader.read_bits(6)
+            raw = reader.read_bits(8)
+            level = raw - 256 if raw >= 128 else raw
+            if level == 0:
+                raise ValueError("escape-coded level of 0 is illegal")
+        pos += run
+        if overflow < 0:
+            if pos < 64:
+                out_flat[zigzag[pos]] = level
+            else:
+                # Overflowing events are a ValueError, but only once the
+                # whole event list has been consumed — the reference
+                # path reads every event first (read_events) and
+                # validates second (events_to_block), so a stream that
+                # truncates mid-list must stay an EOFError on both.
+                overflow = pos
+        pos += 1
+        if last:
+            if overflow >= 0:
+                raise ValueError(
+                    f"events overflow the block at scan position {overflow}"
+                )
+            return
 
 
 def events_bits(events: list[CoefficientEvent]) -> int:

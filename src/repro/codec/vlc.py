@@ -9,6 +9,18 @@ the standard's (short codes for low run / low level / non-LAST events,
 long escape for the rest).  The construction is deterministic, the
 Kraft sum is exactly 1, and encode/decode are exact inverses — all of
 which the test suite checks.
+
+Decoding is **table-driven**: every :class:`VLCTable` compiles its
+canonical codes into a peek-indexed lookup table at construction —
+``LUT_FIRST_BITS`` bits of first level, nested sub-tables for longer
+codes — so :meth:`VLCTable.decode` is one
+:meth:`~repro.codec.bitstream.BitReader.read_vlc` call (peek + table
+hit + skip) instead of a per-bit tree walk.  The seed walk survives as
+:meth:`VLCTable.decode_bitwise`, both as the golden reference the
+equivalence tests compare against and as the automatic fallback for
+readers without ``read_vlc`` (``ScalarBitReader``).  The exp-Golomb
+readers dispatch the same way: a single 64-bit peek on word-level
+readers, the seed bit loop otherwise.
 """
 
 from __future__ import annotations
@@ -16,9 +28,12 @@ from __future__ import annotations
 import heapq
 from typing import Generic, Hashable, Iterable, Sequence, TypeVar
 
-from repro.codec.bitstream import BitReader
-
 Symbol = TypeVar("Symbol", bound=Hashable)
+
+#: First-level LUT width in bits: every code no longer than this
+#: decodes with a single table hit; longer codes indirect through one
+#: nested sub-table keyed by their remaining bits.
+LUT_FIRST_BITS = 9
 
 
 def huffman_code_lengths(
@@ -74,6 +89,31 @@ def canonical_codes(lengths: dict[Symbol, int], order: Sequence[Symbol]) -> dict
     return codes
 
 
+def _compile_lut_level(
+    codes: "list[tuple]", offset: int, width: int
+) -> list:
+    """One LUT level over bits ``[offset, offset + width)`` of the codes
+    (all sharing their first ``offset`` bits).  See
+    :meth:`VLCTable._build_lut` for the entry convention."""
+    table: list = [None] * (1 << width)
+    overflow: dict[int, list[tuple]] = {}
+    for sym, value, length in codes:
+        rest = length - offset
+        if rest <= width:
+            base = (value & ((1 << rest) - 1)) << (width - rest)
+            span = 1 << (width - rest)
+            table[base : base + span] = [(sym, length, None)] * span
+        else:
+            key = (value >> (rest - width)) & ((1 << width) - 1)
+            overflow.setdefault(key, []).append((sym, value, length))
+    for key, group in overflow.items():
+        sub_bits = min(
+            max(length for _, _, length in group) - offset - width, LUT_FIRST_BITS
+        )
+        table[key] = (None, sub_bits, _compile_lut_level(group, offset + width, sub_bits))
+    return table
+
+
 class VLCTable(Generic[Symbol]):
     """A prefix code over a finite symbol set.
 
@@ -89,6 +129,39 @@ class VLCTable(Generic[Symbol]):
             (value, length): sym for sym, (value, length) in self._codes.items()
         }
         self.max_length = max(length for _, length in self._codes.values())
+        self._lut_bits, self._lut = self._build_lut()
+
+    def _build_lut(self) -> tuple[int, list]:
+        """Compile the canonical codes into the peek-indexed LUT
+        :meth:`repro.codec.bitstream.BitReader.read_vlc` consumes.
+
+        Entries are ``(symbol, total_length, None)`` for codes resolved
+        at this level; a slot shared by longer codes holds
+        ``(None, sub_bits, sub_table)`` where ``sub_table`` maps their
+        next ``sub_bits`` bits the same way, recursively — each level is
+        at most ``LUT_FIRST_BITS`` wide, so a pathological 30-bit code
+        costs a couple of indirections instead of a multi-megabyte flat
+        table.  Every index covered by a code's prefix maps to it, so a
+        zero-padded peek near the end of the stream still resolves
+        correctly (the reader rejects matches longer than the bits
+        actually remaining).
+        """
+        codes = [(sym, value, length) for sym, (value, length) in self._codes.items()]
+        first_bits = min(self.max_length, LUT_FIRST_BITS)
+        return first_bits, _compile_lut_level(codes, 0, first_bits)
+
+    @property
+    def lut(self) -> list:
+        """The compiled decode LUT (see :meth:`_build_lut`) — exposed so
+        hot parse loops can call ``reader.read_vlc(table.lut,
+        table.lut_first_bits)`` directly, skipping the dispatch in
+        :meth:`decode`."""
+        return self._lut
+
+    @property
+    def lut_first_bits(self) -> int:
+        """Index width of the LUT's first level, in bits."""
+        return self._lut_bits
 
     def __len__(self) -> int:
         return len(self._codes)
@@ -105,7 +178,18 @@ class VLCTable(Generic[Symbol]):
     def code_length(self, symbol: Symbol) -> int:
         return self.encode(symbol)[1]
 
-    def decode(self, reader: BitReader) -> Symbol:
+    def decode(self, reader) -> Symbol:
+        """Pull one symbol off ``reader`` through the LUT (one peek +
+        one table hit).  Readers without the fused ``read_vlc``
+        primitive (``ScalarBitReader``) fall back to the seed bit walk."""
+        read_vlc = getattr(reader, "read_vlc", None)
+        if read_vlc is None:
+            return self.decode_bitwise(reader)
+        return read_vlc(self._lut, self._lut_bits)
+
+    def decode_bitwise(self, reader) -> Symbol:
+        """The seed per-bit tree walk, kept as the golden reference the
+        LUT path is tested (and benchmarked) against."""
         value = 0
         for length in range(1, self.max_length + 1):
             value = (value << 1) | reader.read_bit()
@@ -145,7 +229,10 @@ def se_golomb_bits(value: int) -> int:
     return se_golomb_code(value)[1]
 
 
-def read_ue_golomb(reader: BitReader) -> int:
+def read_ue_golomb_bitwise(reader) -> int:
+    """The seed bit-at-a-time ue(v) reader — golden reference, error
+    path (its EOF/malformed behaviour is the contract), and fallback
+    for readers without the fused ``read_ue`` primitive."""
     zeros = 0
     while reader.read_bit() == 0:
         zeros += 1
@@ -157,7 +244,22 @@ def read_ue_golomb(reader: BitReader) -> int:
     return value - 1
 
 
-def read_se_golomb(reader: BitReader) -> int:
+def read_ue_golomb(reader) -> int:
+    """Unsigned exp-Golomb: one 64-bit peek on word-level readers
+    (:meth:`repro.codec.bitstream.BitReader.read_ue`), seed bit loop
+    otherwise.  The fast path defers degenerate cases — over-long
+    prefixes, truncated streams — to the bitwise loop so error
+    behaviour is identical everywhere."""
+    read_ue = getattr(reader, "read_ue", None)
+    if read_ue is None:
+        return read_ue_golomb_bitwise(reader)
+    value = read_ue()
+    if value < 0:
+        return read_ue_golomb_bitwise(reader)
+    return value
+
+
+def read_se_golomb(reader) -> int:
     mapped = read_ue_golomb(reader)
     if mapped % 2:
         return (mapped + 1) // 2

@@ -18,6 +18,12 @@ transcribed standard ones):
 Motion vector differences use signed exp-Golomb (``repro.codec.vlc``),
 which has the same 1-bit-for-zero, symmetric-growth profile as H.263's
 MVD table.
+
+Because every table is a :class:`~repro.codec.vlc.VLCTable`, each one
+compiles its peek-indexed decode LUT at import time — symbol decode on
+a word-level :class:`~repro.codec.bitstream.BitReader` is one
+``read_vlc`` call per symbol.  :data:`ALL_TABLES` names them for the
+LUT-vs-bitwise equivalence tests and ``benchmarks/test_bench_vlc.py``.
 """
 
 from __future__ import annotations
@@ -97,3 +103,11 @@ def _mcbpc_model() -> tuple[list[int], list[float]]:
 
 
 MCBPC_TABLE: VLCTable = VLCTable(*_mcbpc_model())
+
+#: Every canonical table the coder uses, by name — the equivalence
+#: tests and the VLC benchmark iterate this.
+ALL_TABLES: dict[str, VLCTable] = {
+    "tcoef": TCOEF_TABLE,
+    "cbpy": CBPY_TABLE,
+    "mcbpc": MCBPC_TABLE,
+}

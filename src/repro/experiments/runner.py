@@ -9,11 +9,16 @@ Usage::
     python -m repro.experiments.runner table1 --frames 21 --qps 30 22 16
     python -m repro.experiments.runner all
     python -m repro.experiments.runner decode-bench --frames 9 --json BENCH_decode.json
+    python -m repro.experiments.runner decode-bench --parse-only --json BENCH_vlc.json
+    python -m repro.experiments.runner decode-bench --bitstream-version 2 --jobs 2
 
 Each paper subcommand prints the same rows/series the corresponding
 table or figure reports; ``decode-bench`` runs an encode→decode round
 trip and times the batched reconstruction path against the seed
-per-block decoder (bit-identity verified first).
+per-block decoder (bit-identity verified first).  ``--parse-only``
+times the VLC symbol parse alone (LUT + word-level reader vs the seed
+per-bit reader); ``--bitstream-version 2`` exercises the start-code
+frame index and the parallel symbol parse.
 """
 
 from __future__ import annotations
@@ -25,7 +30,11 @@ from pathlib import Path
 
 from repro.analysis.reporting import format_histogram
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.decode_bench import run_decode_bench, write_records
+from repro.experiments.decode_bench import (
+    run_decode_bench,
+    run_parse_bench,
+    write_records,
+)
 from repro.experiments.fig4_characterization import run_fig4
 from repro.experiments.rd_curves import run_rd_sweep
 from repro.experiments.table1_complexity import run_table1
@@ -82,22 +91,43 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
     if args.qps and len(args.qps) > 1:
         print("error: decode-bench takes a single --qps value", file=sys.stderr)
         return 2
-    result = run_decode_bench(
+    common = dict(
         sequence=(args.sequences or ["foreman"])[0],
         frames=args.frames,
         qp=(args.qps or [16])[0],
         estimator=args.estimator,
         seed=args.seed,
         rounds=args.rounds,
-        jobs=args.jobs,
     )
+    if args.parse_only:
+        if args.bitstream_version != 1:
+            print("error: --parse-only times the version-1 parse", file=sys.stderr)
+            return 2
+        if args.jobs != 1:
+            print(
+                "error: --parse-only times the serial symbol parse; --jobs does "
+                "not apply (use --bitstream-version 2 --jobs N for the parallel "
+                "parse path)",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_parse_bench(**common)
+        failure = "ERROR: parse paths disagree (LUT reader != seed bit reader)"
+    else:
+        result = run_decode_bench(
+            **common, jobs=args.jobs, bitstream_version=args.bitstream_version
+        )
+        if getattr(result, "parallel_identical", None) is False:
+            failure = "ERROR: v2 parallel parse decode diverged from the serial decode"
+        else:
+            failure = "ERROR: decode paths disagree (batched != per-block)"
     print(result.as_text())
     if args.json:
         path = Path(args.json)
         write_records(result.records(), path)
         print(f"recorded -> {path}", file=sys.stderr)
     if not result.identical:
-        print("ERROR: decode paths disagree (batched != per-block)", file=sys.stderr)
+        print(failure, file=sys.stderr)
         return 1
     return 0
 
@@ -196,6 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
     decode.add_argument(
         "--json", default=None, metavar="PATH",
         help="merge the timings into this JSON file (e.g. BENCH_decode.json)",
+    )
+    decode.add_argument(
+        "--parse-only", action="store_true",
+        help="time the symbol parse alone (LUT + word reader vs the seed "
+        "per-bit reader) and report the parse/reconstruct split — record "
+        "with --json BENCH_vlc.json",
+    )
+    decode.add_argument(
+        "--bitstream-version", type=int, default=1, choices=(1, 2), metavar="V",
+        help="bitstream format for the encode: 1 = seed format (default), "
+        "2 = byte-aligned start codes + frame lengths; v2 additionally "
+        "verifies the frame index and the parallel symbol parse",
     )
     return parser
 

@@ -24,6 +24,7 @@ from repro.parallel.jobs import (
     EncodeJob,
     Fig4PairJob,
     JobSpec,
+    ParseFrameJob,
     SweepJob,
     borrowed_renders,
     clear_render_cache,
@@ -36,6 +37,7 @@ __all__ = [
     "EncodeJob",
     "Fig4PairJob",
     "JobSpec",
+    "ParseFrameJob",
     "SweepJob",
     "borrowed_renders",
     "clear_render_cache",

@@ -195,6 +195,39 @@ class DecodeJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class ParseFrameJob(JobSpec):
+    """Parse one indexed frame's symbols into a
+    :class:`~repro.codec.decoder.ParsedPicture`.
+
+    ``payload`` is one :class:`~repro.codec.decoder.FrameIndex` byte
+    range of a version-2 stream (picture header through padding) —
+    symbol parsing carries no cross-frame state, so a stream's parse
+    jobs run concurrently while the (already batched) reconstruction
+    pass stays sequential.  See ``decode_bitstream(..., jobs=N)``.
+
+    The parse must consume the payload exactly (padding aside): the
+    byte range came from a length field the index *trusted*, so the
+    same ``check_frame_length`` validation the sequential decoder
+    applies runs here too — a corrupt length field fails in every
+    mode.
+    """
+
+    payload: bytes
+
+    def describe(self) -> str:
+        return f"parse {len(self.payload)}B frame"
+
+    def run(self, rng: np.random.Generator | None = None):
+        from repro.codec.bitstream import BitReader
+        from repro.codec.decoder import check_frame_length, parse_picture
+
+        reader = BitReader(self.payload)
+        parsed = parse_picture(reader)
+        check_frame_length(reader, len(self.payload))
+        return parsed
+
+
+@dataclass(frozen=True)
 class Fig4PairJob(JobSpec):
     """One frame pair of the Fig. 3 rig: render the rig (memoized per
     process), run batched FSBM over the pair, classify every block."""
@@ -228,6 +261,7 @@ __all__ = [
     "EncodeJob",
     "Fig4PairJob",
     "JobSpec",
+    "ParseFrameJob",
     "SweepJob",
     "borrowed_renders",
     "clear_render_cache",

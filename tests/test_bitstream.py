@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.bitstream import BitReader, BitWriter, ScalarBitReader
 
 
 class TestBitWriter:
@@ -31,6 +31,17 @@ class TestBitWriter:
         with pytest.raises(ValueError):
             BitWriter().write_bits(4, 2)
 
+    def test_value_too_large_for_wide_counts(self):
+        """The seed writer skipped range validation past 64-bit counts
+        and silently dropped the high bits; every width must raise."""
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1 << 64, 64)
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1 << 100, 80)
+        w = BitWriter()
+        w.write_bits((1 << 64) - 1, 64)  # boundary value still fits
+        assert w.getvalue() == b"\xff" * 8
+
     def test_negative_value(self):
         with pytest.raises(ValueError):
             BitWriter().write_bits(-1, 4)
@@ -45,6 +56,31 @@ class TestBitWriter:
         w.write_code((0b11, 2))
         assert w.bit_count == 2
         assert w.getvalue() == bytes([0b11000000])
+
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.align() == 5
+        assert w.bit_count == 8
+        assert w.byte_length == 1
+        assert w.align() == 0  # already aligned
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_patch_u32_overwrites_flushed_bytes(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        w.write_bits(0, 32)  # placeholder
+        w.write_bits(0xCD, 8)
+        w.patch_u32(1, 0xDEADBEEF)
+        assert w.getvalue() == bytes([0xAB, 0xDE, 0xAD, 0xBE, 0xEF, 0xCD])
+
+    def test_patch_u32_validates(self):
+        w = BitWriter()
+        w.write_bits(0, 32)
+        with pytest.raises(ValueError):
+            w.patch_u32(1, 0)  # overruns flushed buffer
+        with pytest.raises(ValueError):
+            w.patch_u32(0, 1 << 32)
 
 
 class TestBitReader:
@@ -73,6 +109,66 @@ class TestBitReader:
             BitReader(b"\x00").read_bits(-1)
 
 
+class TestPeekSkip:
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0b10110100]))
+        assert r.peek_bits(3) == 0b101
+        assert r.peek_bits(3) == 0b101
+        assert r.bits_consumed == 0
+        assert r.read_bits(3) == 0b101
+
+    def test_peek_zero_pads_past_eof(self):
+        r = BitReader(bytes([0xFF]))
+        assert r.peek_bits(16) == 0xFF00
+
+    def test_skip_then_read(self):
+        r = BitReader(bytes([0b10110100, 0b11001010]))
+        r.skip_bits(5)
+        assert r.read_bits(6) == 0b100110
+        assert r.bits_consumed == 11
+
+    def test_skip_past_eof(self):
+        r = BitReader(bytes([0xFF]))
+        with pytest.raises(EOFError):
+            r.skip_bits(9)
+
+    def test_negative_counts(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(ValueError):
+            r.peek_bits(-1)
+        with pytest.raises(ValueError):
+            r.skip_bits(-1)
+
+    def test_align(self):
+        r = BitReader(bytes([0xAB, 0xCD]))
+        assert r.align() == 0  # already aligned
+        r.read_bits(3)
+        assert r.align() == 5
+        assert r.read_bits(8) == 0xCD
+
+
+class TestScalarBitReaderEquivalence:
+    """The word-level reader must read exactly what the seed per-bit
+    reference reads, on the same bytes."""
+
+    def test_interleaved_reads_match(self):
+        data = bytes((i * 89 + 31) % 256 for i in range(64))
+        fast, seed = BitReader(data), ScalarBitReader(data)
+        for count in (1, 7, 8, 9, 13, 1, 24, 3, 32, 5, 64, 2):
+            assert fast.read_bits(count) == seed.read_bits(count)
+            assert fast.bits_consumed == seed.bits_consumed
+            assert fast.bits_remaining == seed.bits_remaining
+
+    def test_eof_behaviour_matches(self):
+        data = bytes([0x5A])
+        fast, seed = BitReader(data), ScalarBitReader(data)
+        assert fast.read_bits(8) == seed.read_bits(8)
+        with pytest.raises(EOFError):
+            fast.read_bit()
+        with pytest.raises(EOFError):
+            seed.read_bit()
+
+
 class TestRoundTrip:
     def test_many_values(self):
         values = [(i * 37) % (1 << (i % 16 + 1)) for i in range(200)]
@@ -82,3 +178,14 @@ class TestRoundTrip:
         r = BitReader(w.getvalue())
         for i, v in enumerate(values):
             assert r.read_bits(i % 16 + 1) == v
+
+    def test_wide_chunks(self):
+        """Chunks wider than the refill word exercise the multi-word
+        accumulator paths on both sides."""
+        values = [(1 << 70) - 3, 0, (1 << 100) // 7, 12345]
+        w = BitWriter()
+        for v in values:
+            w.write_bits(v, 100)
+        r = BitReader(w.getvalue())
+        for v in values:
+            assert r.read_bits(100) == v

@@ -20,6 +20,17 @@ class TestParser:
         assert args.rounds == 1
         assert args.json == "out.json"
         assert args.estimator == "fsbm"
+        assert args.parse_only is False
+        assert args.bitstream_version == 1
+
+    def test_decode_bench_parse_and_version_options(self):
+        args = build_parser().parse_args(
+            ["decode-bench", "--parse-only", "--bitstream-version", "2"]
+        )
+        assert args.parse_only is True
+        assert args.bitstream_version == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decode-bench", "--bitstream-version", "3"])
 
     def test_common_options_after_command(self):
         args = build_parser().parse_args(["table1", "--frames", "9", "--seed", "3"])
@@ -78,3 +89,59 @@ class TestMain:
         }
         assert records["decode_per_block_ms"] > 0
         assert records["decode_batched_ms"] > 0
+
+    def test_decode_bench_parse_only(self, capsys, tmp_path):
+        """--parse-only reports the parse/reconstruct split and records
+        the VLC payload (BENCH_vlc.json keys)."""
+        import json
+
+        out_path = tmp_path / "BENCH_vlc.json"
+        argv = [
+            "decode-bench", "--frames", "2", "--sequences", "miss_america",
+            "--rounds", "1", "--parse-only", "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "symbols identical" in out and "True" in out
+        assert "decode split" in out
+        records = json.loads(out_path.read_text())
+        assert set(records) == {
+            "vlc_parse_lut_ms", "vlc_parse_seed_ms", "vlc_parse_speedup",
+            "vlc_parse_mbps", "vlc_reconstruct_ms",
+        }
+        assert records["vlc_parse_speedup"] > 0
+
+    def test_decode_bench_parse_only_rejects_v2(self, capsys):
+        argv = ["decode-bench", "--parse-only", "--bitstream-version", "2"]
+        assert main(argv) == 2
+
+    def test_decode_bench_parse_only_rejects_jobs(self, capsys):
+        """--jobs has no effect on the serial parse timing — reject it
+        loudly instead of silently ignoring it."""
+        argv = ["decode-bench", "--parse-only", "--jobs", "4"]
+        assert main(argv) == 2
+
+    def test_decode_bench_v2(self, capsys, tmp_path):
+        """--bitstream-version 2 verifies the frame index and the
+        parallel symbol parse alongside the usual decode identity.
+        Note this spawns a small 2-worker pool: run_decode_bench
+        always drives the indexed parse with at least two workers so
+        the verification covers the real parallel path (the same
+        pipeline CI smokes via --jobs 2)."""
+        import json
+
+        out_path = tmp_path / "BENCH_decode.json"
+        argv = [
+            "decode-bench", "--frames", "2", "--sequences", "miss_america",
+            "--rounds", "1", "--bitstream-version", "2", "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(v2)" in out
+        assert "parallel parse" in out and "True" in out
+        # v2 records are version-suffixed so they can never collide
+        # with the v1 keys the committed baselines gate on.
+        records = json.loads(out_path.read_text())
+        assert set(records) == {
+            "decode_v2_per_block_ms", "decode_v2_batched_ms", "decode_v2_speedup",
+        }
