@@ -1,0 +1,68 @@
+"""Streaming-codec benchmarks: push decode vs whole-buffer decode.
+
+The memory-bound counterpart of ``test_bench_decode.py``: a 30-frame
+QCIF version-2 stream is pushed through a bounded decode session in
+MTU-sized chunks and timed against ``decode_bitstream`` over the whole
+buffer.  Identity (streamed == whole-buffer == encoder loop, and
+StreamEncoder bytes == Encoder bytes for both wire formats) is verified
+inside the bench before timing; the session's peak buffered bytes must
+stay under the subsystem's bound of two frames' worth of payload plus
+one reconstruction window.  Timings land in ``BENCH_stream.json`` at
+the repo root for CI's regression gate (the gated key is the
+stream-vs-whole throughput ratio).
+"""
+
+import pytest
+
+from repro.experiments.stream_bench import run_stream_bench, write_records
+from repro.video.synthesis.sequences import make_sequence
+
+from .conftest import bench_output_path
+
+#: Flushed to BENCH_stream.json when the module finishes.
+_RECORDS: dict[str, float] = {}
+
+#: The acceptance workload: a 30-frame QCIF stream (independent of
+#: REPRO_BENCH_FRAMES — the memory bound is stated for this shape).
+STREAM_FRAMES = 30
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_stream_records():
+    yield
+    if _RECORDS:
+        write_records(_RECORDS, bench_output_path("BENCH_stream.json"))
+
+
+@pytest.fixture(scope="module")
+def result():
+    clip = make_sequence("foreman", frames=STREAM_FRAMES, seed=0)
+    return run_stream_bench(
+        sequence="foreman", frames=STREAM_FRAMES, qp=16, estimator="tss",
+        rounds=3, chunk_size=1500, clip=clip,
+    )
+
+
+def test_stream_decode_identity_and_bound(result):
+    """Golden claims: any chunking decodes bit-identically (the full
+    property lives in tests/test_streaming.py; this pins the 30-frame
+    workload), and peak buffered bytes stay inside the bound while the
+    whole-buffer path by definition holds the entire stream."""
+    assert result.identical, "streaming paths diverged — see tests/test_streaming.py"
+    assert result.within_bound, (
+        f"peak buffered {result.peak_buffered_bytes} bytes exceeds the "
+        f"{result.buffer_bound_bytes}-byte bound"
+    )
+    _RECORDS.update(result.records())
+    print(f"\n{result.as_text()}")
+
+
+def test_stream_throughput_near_whole_buffer(result):
+    """The push path re-runs the same parse + batched reconstruction;
+    its only extra work is scanning and bookkeeping, so throughput must
+    stay within 2x of the whole-buffer decode (measured ~0.9-1.0x; the
+    assert leaves margin for noisy CI runners)."""
+    assert result.speedup >= 0.5, (
+        f"streaming tax regressed: push decode only {result.speedup:.2f}x "
+        f"of whole-buffer throughput"
+    )

@@ -37,6 +37,7 @@ class BitWriter:
         self._accumulator = 0
         self._filled = 0  # bits currently held in the accumulator (0..7 after flush)
         self._bits_written = 0
+        self._drained = 0  # bytes already handed out via drain()
 
     @property
     def bit_count(self) -> int:
@@ -45,11 +46,12 @@ class BitWriter:
 
     @property
     def byte_length(self) -> int:
-        """Bytes flushed so far.  Only the full picture when the writer
-        is byte-aligned (``bit_count % 8 == 0``) — the v2 framing layer
-        calls :meth:`align` first, which is what makes this usable as a
-        byte offset for :meth:`patch_u32` backpatching."""
-        return len(self._buffer)
+        """Bytes flushed so far, including drained ones.  Only the full
+        picture when the writer is byte-aligned (``bit_count % 8 == 0``)
+        — the v2 framing layer calls :meth:`align` first, which is what
+        makes this usable as a byte offset for :meth:`patch_u32`
+        backpatching."""
+        return self._drained + len(self._buffer)
 
     def write_bit(self, bit: int) -> None:
         if bit not in (0, 1):
@@ -98,15 +100,40 @@ class BitWriter:
         """
         if not 0 <= value < (1 << 32):
             raise ValueError(f"value {value} does not fit in 32 bits")
-        if byte_pos < 0 or byte_pos + 4 > len(self._buffer):
+        rel = byte_pos - self._drained
+        if rel < 0:
+            raise ValueError(
+                f"patch range [{byte_pos}, {byte_pos + 4}) was already drained "
+                f"(first undrained byte is {self._drained})"
+            )
+        if rel + 4 > len(self._buffer):
             raise ValueError(
                 f"patch range [{byte_pos}, {byte_pos + 4}) outside flushed buffer "
-                f"of {len(self._buffer)} bytes"
+                f"of {self.byte_length} bytes"
             )
-        self._buffer[byte_pos : byte_pos + 4] = value.to_bytes(4, "big")
+        self._buffer[rel : rel + 4] = value.to_bytes(4, "big")
+
+    def drain(self) -> bytes:
+        """Hand out every fully flushed byte and drop it from the
+        buffer; a trailing partial byte (``bit_count % 8`` bits) stays
+        in the accumulator for later writes.
+
+        The streaming encoder emits the bitstream incrementally through
+        this: concatenating every drained chunk plus the final
+        :meth:`getvalue` reproduces the undrained writer's bytes
+        exactly.  Byte positions stay *absolute* — :attr:`byte_length`
+        keeps counting drained bytes, and :meth:`patch_u32` rejects
+        positions that were already handed out.
+        """
+        out = bytes(self._buffer)
+        self._drained += len(out)
+        self._buffer.clear()
+        return out
 
     def getvalue(self) -> bytes:
-        """The byte string, zero-padded to a byte boundary."""
+        """The not-yet-drained byte string, zero-padded to a byte
+        boundary (the whole stream when :meth:`drain` was never
+        called)."""
         out = bytearray(self._buffer)
         if self._filled:
             out.append(self._accumulator << (8 - self._filled))

@@ -46,6 +46,7 @@ from repro.codec.encoder import (
     FRAME_LENGTH_BITS,
     FRAME_START_CODE,
     FRAME_START_CODE_BITS,
+    PICTURE_HEADER_BITS,
     START_CODE,
     START_CODE_BITS,
 )
@@ -75,7 +76,7 @@ from repro.me.types import MotionField, MotionVector
 from repro.video.frame import Frame, FrameGeometry
 
 #: Bits in a picture header (after any version-2 framing).
-_HEADER_BITS = START_CODE_BITS + 1 + 5 + 5 + 16
+_HEADER_BITS = PICTURE_HEADER_BITS
 
 #: Byte prefix shared by all version-2 frame start codes.
 _V2_PREFIX = FRAME_START_CODE.to_bytes(4, "big")[:3]
@@ -391,31 +392,27 @@ class FrameIndex:
 
     @classmethod
     def scan(cls, bitstream: bytes) -> "FrameIndex":
+        """Scan a whole in-memory stream.
+
+        Delegates to the incremental :class:`repro.streaming.scanner.ScanState`
+        fed the buffer in one chunk, so the whole-buffer and streaming
+        scanners accept and reject exactly the same streams with the
+        same errors (byte offsets named for bad start codes, trailing
+        garbage, and length fields pointing past end of stream).
+        """
         if detect_version(bitstream) != 2:
             raise ValueError(
                 "FrameIndex requires a version-2 stream (byte-aligned start "
                 "codes); version-1 streams are not splittable without parsing"
             )
-        start_bytes = FRAME_START_CODE.to_bytes(FRAME_START_CODE_BITS // 8, "big")
-        length_bytes = FRAME_LENGTH_BITS // 8
-        # Smallest byte count that can still open a frame (framing +
-        # picture header) — the byte-level twin of ``Decoder.has_more``.
-        min_frame_bytes = (
-            FRAME_START_CODE_BITS + FRAME_LENGTH_BITS + _HEADER_BITS + 7
-        ) // 8
-        ranges: list[tuple[int, int]] = []
-        pos = 0
-        while pos + min_frame_bytes <= len(bitstream):
-            header_end = pos + len(start_bytes) + length_bytes
-            if bitstream[pos : pos + len(start_bytes)] != start_bytes:
-                raise ValueError(f"bad frame start code at byte {pos}")
-            length = int.from_bytes(bitstream[pos + len(start_bytes) : header_end], "big")
-            end = header_end + length
-            if end > len(bitstream):
-                raise ValueError(f"frame at byte {pos} overruns the stream")
-            ranges.append((header_end, end))
-            pos = end
-        return cls(ranges=tuple(ranges))
+        # Imported here: repro.streaming sits above the codec layer and
+        # imports this module, so a top-level import would cycle.
+        from repro.streaming.scanner import ScanState
+
+        state = ScanState(keep_payloads=False)
+        state.feed(bitstream)
+        state.finish()
+        return cls(ranges=tuple(state.ranges))
 
 
 # -- reconstruction -------------------------------------------------------

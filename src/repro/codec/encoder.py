@@ -56,6 +56,13 @@ FRAME_START_CODE = 0x000001B6
 FRAME_START_CODE_BITS = 32
 FRAME_LENGTH_BITS = 32
 
+#: Bits in a picture header: start code, P-flag, Qp, p, mb_rows,
+#: mb_cols.  The single definition every layer that sizes a minimal
+#: picture shares (the decoder's ``has_more``, the whole-buffer and
+#: incremental scanners) — they must agree on which trailing fragments
+#: are too short to open a frame.
+PICTURE_HEADER_BITS = START_CODE_BITS + 1 + 5 + 5 + 16
+
 
 @dataclass(frozen=True)
 class FrameRecord:
@@ -189,6 +196,76 @@ class Encoder:
 
     # -- public API ----------------------------------------------------
 
+    def encode_frame_into(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        position: int,
+        prev_recon: Frame | None,
+        prev_field: MotionField | None,
+    ) -> tuple[FrameRecord, Frame, MotionField | None]:
+        """Encode one frame (intra at ``position`` 0, inter after) into
+        ``writer``, including any version-2 framing.
+
+        Returns ``(record, reconstruction, motion_field)`` — the state
+        the caller threads into the next call.  This is the single
+        per-frame step both :meth:`encode` and the streaming encoder
+        (:class:`repro.streaming.StreamEncoder`) drive, which is what
+        makes their emitted bytes identical by construction.
+        """
+        framed = self.bitstream_version == 2
+        if framed:
+            frame_start_bits = writer.bit_count
+            writer.align()
+            writer.write_bits(FRAME_START_CODE, FRAME_START_CODE_BITS)
+            length_pos = writer.byte_length
+            writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
+            payload_start = writer.byte_length
+        if position == 0:
+            bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
+            record = FrameRecord(
+                index=frame.index,
+                frame_type="I",
+                bits=bits,
+                psnr_y=psnr(frame.y, recon.y),
+                psnr_cb=psnr(frame.cb, recon.cb),
+                psnr_cr=psnr(frame.cr, recon.cr),
+                stats=None,
+                coefficient_bits=coef_bits,
+            )
+            field = None
+        else:
+            # One reference cache per P-frame, shared by the motion
+            # search and the luma motion compensation below — both
+            # read the same interpolated half-pel samples.
+            plane = ReferencePlane.wrap(prev_recon.y)
+            field, stats = self.estimator.estimate(
+                frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
+            )
+            bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
+                writer, frame, prev_recon, field, plane
+            )
+            record = FrameRecord(
+                index=frame.index,
+                frame_type="P",
+                bits=bits,
+                psnr_y=psnr(frame.y, recon.y),
+                psnr_cb=psnr(frame.cb, recon.cb),
+                psnr_cr=psnr(frame.cr, recon.cr),
+                stats=stats,
+                skipped_mbs=skipped,
+                mv_bits=mv_bits,
+                coefficient_bits=coef_bits,
+            )
+        if framed:
+            # Close the frame: pad to a byte boundary, backpatch the
+            # length field, and charge the framing + padding bits to
+            # the frame so v2 rate numbers reflect emitted bytes.
+            writer.align()
+            writer.patch_u32(length_pos, writer.byte_length - payload_start)
+            record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
+        return record, recon, field
+
     def encode(self, sequence: Sequence) -> EncodeResult:
         """Encode a whole sequence (frame 0 intra, rest inter)."""
         writer = BitWriter()
@@ -197,58 +274,9 @@ class Encoder:
         prev_recon: Frame | None = None
         prev_field: MotionField | None = None
         for i, frame in enumerate(sequence):
-            framed = self.bitstream_version == 2
-            if framed:
-                frame_start_bits = writer.bit_count
-                writer.align()
-                writer.write_bits(FRAME_START_CODE, FRAME_START_CODE_BITS)
-                length_pos = writer.byte_length
-                writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
-                payload_start = writer.byte_length
-            if i == 0:
-                bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
-                record = FrameRecord(
-                    index=frame.index,
-                    frame_type="I",
-                    bits=bits,
-                    psnr_y=psnr(frame.y, recon.y),
-                    psnr_cb=psnr(frame.cb, recon.cb),
-                    psnr_cr=psnr(frame.cr, recon.cr),
-                    stats=None,
-                    coefficient_bits=coef_bits,
-                )
-                prev_field = None
-            else:
-                # One reference cache per P-frame, shared by the motion
-                # search and the luma motion compensation below — both
-                # read the same interpolated half-pel samples.
-                plane = ReferencePlane.wrap(prev_recon.y)
-                field, stats = self.estimator.estimate(
-                    frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
-                )
-                bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
-                    writer, frame, prev_recon, field, plane
-                )
-                record = FrameRecord(
-                    index=frame.index,
-                    frame_type="P",
-                    bits=bits,
-                    psnr_y=psnr(frame.y, recon.y),
-                    psnr_cb=psnr(frame.cb, recon.cb),
-                    psnr_cr=psnr(frame.cr, recon.cr),
-                    stats=stats,
-                    skipped_mbs=skipped,
-                    mv_bits=mv_bits,
-                    coefficient_bits=coef_bits,
-                )
-                prev_field = field
-            if framed:
-                # Close the frame: pad to a byte boundary, backpatch the
-                # length field, and charge the framing + padding bits to
-                # the frame so v2 rate numbers reflect emitted bytes.
-                writer.align()
-                writer.patch_u32(length_pos, writer.byte_length - payload_start)
-                record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
+            record, recon, prev_field = self.encode_frame_into(
+                writer, frame, i, prev_recon, prev_field
+            )
             records.append(record)
             prev_recon = recon
             if self.keep_reconstruction:

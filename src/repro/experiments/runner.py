@@ -11,6 +11,10 @@ Usage::
     python -m repro.experiments.runner decode-bench --frames 9 --json BENCH_decode.json
     python -m repro.experiments.runner decode-bench --parse-only --json BENCH_vlc.json
     python -m repro.experiments.runner decode-bench --bitstream-version 2 --jobs 2
+    python -m repro.experiments.runner stream-encode --from-yuv clip.yuv --geometry qcif \\
+        --bitstream-version 2 --out stream.v2
+    python -m repro.experiments.runner stream-decode stream.v2 --chunk-size 1500 --verify
+    python -m repro.experiments.runner stream-bench --json BENCH_stream.json
 
 Each paper subcommand prints the same rows/series the corresponding
 table or figure reports; ``decode-bench`` runs an encode→decode round
@@ -19,6 +23,15 @@ per-block decoder (bit-identity verified first).  ``--parse-only``
 times the VLC symbol parse alone (LUT + word-level reader vs the seed
 per-bit reader); ``--bitstream-version 2`` exercises the start-code
 frame index and the parallel symbol parse.
+
+The ``stream-*`` subcommands drive the incremental codec
+(:mod:`repro.streaming`): ``stream-encode`` pulls frames straight off a
+raw YUV file (never materializing the sequence) and writes the
+bitstream as pictures close; ``stream-decode`` pushes a bitstream file
+(or stdin) through a bounded-memory decode session in fixed-size chunks
+and optionally re-decodes the whole buffer to gate bit-identity
+(``--verify``, the CI smoke); ``stream-bench`` times push vs
+whole-buffer decode and records ``BENCH_stream.json``.
 """
 
 from __future__ import annotations
@@ -37,7 +50,25 @@ from repro.experiments.decode_bench import (
 )
 from repro.experiments.fig4_characterization import run_fig4
 from repro.experiments.rd_curves import run_rd_sweep
+from repro.experiments.stream_bench import run_stream_bench
 from repro.experiments.table1_complexity import run_table1
+
+
+def parse_geometry(value: str):
+    """``qcif`` / ``cif`` / ``WxH`` → :class:`FrameGeometry`."""
+    from repro.video.frame import CIF, QCIF, FrameGeometry
+
+    named = {"qcif": QCIF, "cif": CIF}
+    lowered = value.lower()
+    if lowered in named:
+        return named[lowered]
+    try:
+        width, height = (int(part) for part in lowered.split("x"))
+        return FrameGeometry(width, height)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"geometry must be 'qcif', 'cif' or WxH (multiples of 16): {exc}"
+        ) from None
 
 
 def _config_from_args(args: argparse.Namespace, fps_list=None) -> ExperimentConfig:
@@ -132,6 +163,148 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream_encode(args: argparse.Namespace) -> int:
+    """Encode a raw YUV file incrementally: frames stream in through
+    ``iter_yuv_frames``, bytes stream out as pictures close — the
+    whole file is never resident."""
+    from repro.streaming import EncodeSession
+    from repro.video.yuv_io import iter_yuv_frames
+
+    session = EncodeSession(
+        estimator=args.estimator,
+        qp=args.qp,
+        bitstream_version=args.bitstream_version,
+    )
+    frames = iter_yuv_frames(args.from_yuv, args.geometry, max_frames=args.max_frames)
+    try:
+        if args.out == "-":
+            written = session.encode_to(sys.stdout.buffer, frames)
+        else:
+            with open(args.out, "wb") as sink:
+                written = session.encode_to(sink, frames)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = session.stats()
+    print(
+        f"stream-encode: {stats.frames_in} frames from {args.from_yuv} "
+        f"({args.geometry.width}x{args.geometry.height}) -> {written} bytes "
+        f"(v{args.bitstream_version}, {args.estimator}, qp={args.qp})",
+        file=sys.stderr,
+    )
+    print(f"  {stats.as_text()}", file=sys.stderr)
+    return 0
+
+
+def cmd_stream_decode(args: argparse.Namespace) -> int:
+    """Push a bitstream through a bounded-memory decode session in
+    fixed-size chunks; optionally re-decode the whole buffer and gate
+    bit-identity (``--verify``)."""
+    from repro.codec.decoder import decode_bitstream
+    from repro.streaming import DecodeSession
+
+    if args.chunk_size < 1:
+        print(f"error: --chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    if args.max_buffered < 1:
+        print(f"error: --max-buffered must be >= 1, got {args.max_buffered}", file=sys.stderr)
+        return 2
+    try:
+        source = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        sink = open(args.out, "wb") if args.out else None
+    except OSError as exc:
+        if source is not sys.stdin.buffer:
+            source.close()
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    decoded = []  # kept only under --verify
+    fed = bytearray() if args.verify else None
+    try:
+        session = DecodeSession(max_buffered_frames=args.max_buffered)
+
+        def drain() -> None:
+            for frame in session.frames():
+                if fed is not None:
+                    decoded.append(frame)
+                if sink is not None:
+                    for plane in (frame.y, frame.cb, frame.cr):
+                        sink.write(plane.tobytes())
+
+        try:
+            while True:
+                chunk = source.read(args.chunk_size)
+                if not chunk:
+                    break
+                if fed is not None:
+                    fed += chunk
+                session.feed(chunk)
+                drain()
+            session.close()
+            drain()
+        except (ValueError, EOFError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        if source is not sys.stdin.buffer:
+            source.close()
+        if sink is not None:
+            sink.close()
+    stats = session.stats()
+    print(f"stream-decode: {stats.frames_out} frames in {args.chunk_size}-byte chunks")
+    print(f"  {stats.as_text()}")
+    if args.verify:
+        whole = decode_bitstream(bytes(fed))
+        identical = len(whole) == len(decoded) and all(
+            a == b for a, b in zip(decoded, whole)
+        )
+        print(f"  identical to whole-buffer decode: {identical}")
+        if not identical:
+            print("ERROR: streamed decode diverged from whole-buffer decode", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_stream_bench(args: argparse.Namespace) -> int:
+    if args.chunk_size < 1:
+        print(f"error: --chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    if args.sequences and len(args.sequences) > 1:
+        print("error: stream-bench takes a single --sequences value", file=sys.stderr)
+        return 2
+    if args.qps and len(args.qps) > 1:
+        print("error: stream-bench takes a single --qps value", file=sys.stderr)
+        return 2
+    result = run_stream_bench(
+        sequence=(args.sequences or ["foreman"])[0],
+        frames=args.frames,
+        qp=(args.qps or [16])[0],
+        estimator=args.estimator,
+        seed=args.seed,
+        rounds=args.rounds,
+        chunk_size=args.chunk_size,
+    )
+    print(result.as_text())
+    if args.json:
+        path = Path(args.json)
+        write_records(result.records(), path)
+        print(f"recorded -> {path}", file=sys.stderr)
+    if not result.identical:
+        print("ERROR: streaming paths diverged from the whole-buffer codec", file=sys.stderr)
+        return 1
+    if not result.within_bound:
+        print(
+            f"ERROR: peak buffered {result.peak_buffered_bytes} bytes exceeds the "
+            f"{result.buffer_bound_bytes}-byte bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     """Everything, sharing one sweep, with a per-stage timing summary.
 
@@ -167,6 +340,29 @@ def cmd_all(args: argparse.Namespace) -> None:
         print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
 
     timed("table1", table1_report)
+    print("\n" + "=" * 70 + "\n")
+
+    def streaming_report() -> None:
+        # A small but end-to-end pass over the streaming subsystem:
+        # v2 encode, push decode in MTU-sized chunks, every identity
+        # and the memory bound checked inside the bench.  Only the
+        # deterministic lines go to stdout — measured timings land on
+        # stderr, preserving cmd_all's byte-identical-stdout contract.
+        result = run_stream_bench(
+            sequence=config.sequences[0],
+            frames=min(args.frames, 6),
+            qp=config.qps[0],
+            estimator="tss",
+            seed=args.seed,
+            rounds=1,
+        )
+        lines = result.as_text().splitlines()
+        print("\n".join(lines[:-1]))
+        print(lines[-1], file=sys.stderr)
+        if not (result.identical and result.within_bound):
+            raise SystemExit("streaming stage failed: identity or memory bound broken")
+
+    timed("streaming", streaming_report)
     total = sum(duration for _, duration in timings)
     width = max(len(label) for label, _ in timings)
     print("\n== wall-clock summary ==", file=sys.stderr)
@@ -239,6 +435,80 @@ def build_parser() -> argparse.ArgumentParser:
         "2 = byte-aligned start codes + frame lengths; v2 additionally "
         "verifies the frame index and the parallel symbol parse",
     )
+    stream_encode = sub.add_parser(
+        "stream-encode",
+        help="encode a raw YUV file incrementally (bounded memory, bytes out "
+        "as each picture closes)",
+    )
+    stream_encode.add_argument(
+        "--from-yuv", required=True, metavar="PATH",
+        help="raw planar 4:2:0 input file",
+    )
+    stream_encode.add_argument(
+        "--geometry", type=parse_geometry, default="qcif", metavar="G",
+        help="frame geometry of the YUV file: qcif, cif or WxH (default qcif)",
+    )
+    stream_encode.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="bitstream output file ('-' = stdout, the default)",
+    )
+    stream_encode.add_argument("--qp", type=int, default=16, help="quantizer step (1..31)")
+    stream_encode.add_argument(
+        "--estimator", default="tss", metavar="NAME",
+        help="registry name of the motion search (default tss)",
+    )
+    stream_encode.add_argument(
+        "--bitstream-version", type=int, default=2, choices=(1, 2), metavar="V",
+        help="wire format (default 2: the streaming-decodable framed format)",
+    )
+    stream_encode.add_argument(
+        "--max-frames", type=int, default=None, metavar="N",
+        help="encode at most N frames of the file",
+    )
+    stream_decode = sub.add_parser(
+        "stream-decode",
+        help="push-decode a v2 bitstream in fixed-size chunks (bounded memory)",
+    )
+    stream_decode.add_argument(
+        "input", help="bitstream file ('-' = stdin)",
+    )
+    stream_decode.add_argument(
+        "--chunk-size", type=int, default=65536, metavar="N",
+        help="bytes per feed (default 65536; any value decodes identically)",
+    )
+    stream_decode.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write decoded frames as raw planar 4:2:0 to this file",
+    )
+    stream_decode.add_argument(
+        "--max-buffered", type=int, default=2, metavar="N",
+        help="decoded-frame buffer depth (default 2)",
+    )
+    stream_decode.add_argument(
+        "--verify", action="store_true",
+        help="also decode the whole buffer at once and fail unless the "
+        "streamed frames are bit-identical (the CI smoke)",
+    )
+    stream_bench = sub.add_parser(
+        "stream-bench", parents=[common],
+        help="push decode vs whole-buffer decode timing + peak-memory bound",
+    )
+    stream_bench.add_argument(
+        "--estimator", default="tss", metavar="NAME",
+        help="registry name of the search used for the encode (default tss)",
+    )
+    stream_bench.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="timing repetitions per path, best-of (default 3)",
+    )
+    stream_bench.add_argument(
+        "--chunk-size", type=int, default=1500, metavar="N",
+        help="bytes per feed for the push path (default 1500, MTU-ish)",
+    )
+    stream_bench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="merge the timings into this JSON file (e.g. BENCH_stream.json)",
+    )
     return parser
 
 
@@ -256,6 +526,12 @@ def main(argv: list[str] | None = None) -> int:
         cmd_all(args)
     elif args.command == "decode-bench":
         return cmd_decode_bench(args)
+    elif args.command == "stream-encode":
+        return cmd_stream_encode(args)
+    elif args.command == "stream-decode":
+        return cmd_stream_decode(args)
+    elif args.command == "stream-bench":
+        return cmd_stream_bench(args)
     return 0
 
 

@@ -1,0 +1,209 @@
+"""Streaming-codec benchmark: push decode vs whole-buffer decode.
+
+The serving-shaped counterpart of :mod:`repro.experiments.decode_bench`:
+one version-2 encode, then the same bytes decoded twice — once through
+:func:`repro.codec.decoder.decode_bitstream` with the whole buffer in
+hand, once pushed chunk by chunk through a
+:class:`repro.streaming.DecodeSession` with frames drained as they
+complete.  Identity is verified before anything is timed (streamed
+frames vs whole-buffer frames vs the encoder's closed loop), and the
+session's **peak buffered bytes** are recorded against the subsystem's
+memory bound: two frames' worth of payload plus one reconstruction
+window (3 raw frames' bytes total — the whole-buffer path, by contrast,
+holds the entire stream plus every decoded frame).
+
+The streaming *encoder* is verified alongside: a
+:class:`repro.streaming.StreamEncoder` pulling the clip frame by frame
+must emit the whole-sequence encoder's bytes exactly, in both wire
+formats.
+
+``runner stream-bench`` exposes this as a CLI mode;
+``benchmarks/test_bench_stream.py`` records the numbers to
+``BENCH_stream.json`` for CI's regression gate (the gated key is the
+stream-vs-whole throughput ratio, which must stay near 1.0 — streaming
+adds scanning and bookkeeping, not compute).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.codec.decoder import FrameIndex, decode_bitstream
+from repro.codec.encoder import encode_sequence
+from repro.streaming import DecodeSession, StreamEncoder
+from repro.video.synthesis.sequences import make_sequence
+from repro.video.yuv_io import frame_size_bytes
+
+# Re-exported for the runner's --json flag (same merge convention).
+from repro.experiments.decode_bench import write_records  # noqa: F401
+
+
+@dataclass(frozen=True)
+class StreamBenchResult:
+    """One streaming benchmark's outcome."""
+
+    sequence: str
+    frames: int
+    qp: int
+    estimator: str
+    bitstream_bytes: int
+    chunk_size: int
+    whole_ms: float
+    stream_ms: float
+    peak_buffered_bytes: int
+    buffer_bound_bytes: int
+    #: Streamed frames == whole-buffer decode == encoder closed loop.
+    stream_identical: bool
+    #: StreamEncoder bytes == Encoder bytes, v1 and v2.
+    encode_identical: bool
+
+    @property
+    def identical(self) -> bool:
+        """Every verified identity held (the CI gate)."""
+        return self.stream_identical and self.encode_identical
+
+    @property
+    def within_bound(self) -> bool:
+        return self.peak_buffered_bytes < self.buffer_bound_bytes
+
+    @property
+    def speedup(self) -> float:
+        """Stream-vs-whole throughput ratio (1.0 = no streaming tax)."""
+        return self.whole_ms / self.stream_ms
+
+    @property
+    def stream_mbps(self) -> float:
+        """Push-decode throughput in Mbit/s of bitstream."""
+        return self.bitstream_bytes * 8 / (self.stream_ms / 1000.0) / 1e6
+
+    def records(self) -> dict[str, float]:
+        """Payload for ``BENCH_stream.json`` (timings ``_ms``, the
+        gated ratio contains ``speedup``, byte counts are info)."""
+        return {
+            "stream_whole_decode_ms": self.whole_ms,
+            "stream_push_decode_ms": self.stream_ms,
+            "stream_vs_whole_speedup": self.speedup,
+            "stream_decode_mbps": self.stream_mbps,
+            "stream_peak_buffered_bytes": float(self.peak_buffered_bytes),
+            "stream_buffer_bound_bytes": float(self.buffer_bound_bytes),
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"stream bench: {self.sequence}, {self.frames} frames, qp={self.qp}, "
+            f"{self.estimator}, {self.bitstream_bytes} bytes (v2), "
+            f"{self.chunk_size}-byte chunks\n"
+            f"  bit-identical (streamed == whole-buffer == encoder loop): "
+            f"{self.stream_identical}\n"
+            f"  stream-encode byte-identical (v1 and v2): {self.encode_identical}\n"
+            f"  peak buffered {self.peak_buffered_bytes} bytes "
+            f"(bound {self.buffer_bound_bytes}: within={self.within_bound}; "
+            f"whole buffer holds {self.bitstream_bytes})\n"
+            f"  whole {self.whole_ms:.1f} ms vs push {self.stream_ms:.1f} ms "
+            f"-> {self.speedup:.2f}x ({self.stream_mbps:.2f} Mbit/s)"
+        )
+
+
+def _stream_decode_once(
+    bitstream: bytes, chunk_size: int, max_buffered_frames: int = 2
+) -> tuple[list, DecodeSession]:
+    """One full push-decode pass: feed fixed-size chunks, drain after
+    every feed (the well-behaved consumer the backpressure contract
+    assumes).  Returns the decoded frames and the session."""
+    session = DecodeSession(max_buffered_frames=max_buffered_frames)
+    out: list = []
+    for start in range(0, len(bitstream), chunk_size):
+        session.feed(bitstream[start : start + chunk_size])
+        out.extend(session.frames())
+    session.close()
+    out.extend(session.frames())
+    return out, session
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_stream_bench(
+    sequence: str = "foreman",
+    frames: int = 30,
+    qp: int = 16,
+    estimator: str = "tss",
+    seed: int = 0,
+    rounds: int = 3,
+    chunk_size: int = 1500,
+    clip=None,
+) -> StreamBenchResult:
+    """Encode ``frames`` of a synthetic clip as version 2, then time
+    whole-buffer vs push decode over the same bytes (best of
+    ``rounds``), verifying every identity first.
+
+    ``chunk_size`` defaults to an MTU-ish 1500 bytes — the shape a
+    network ingest actually delivers.  Pass a prebuilt ``Sequence`` via
+    ``clip`` to skip the synthesis (the benchmark suite shares one
+    render).
+    """
+    if clip is None:
+        clip = make_sequence(sequence, frames=frames, seed=seed)
+    encode = encode_sequence(
+        clip, qp=qp, estimator=estimator, keep_reconstruction=True, bitstream_version=2
+    )
+    sequence, qp, estimator = encode.name, encode.qp, encode.estimator_name
+    frames = len(encode.reconstruction)
+    bitstream = encode.bitstream
+
+    # -- identity: streamed frames == whole-buffer == closed loop ------
+    whole = decode_bitstream(bitstream)
+    streamed, session = _stream_decode_once(bitstream, chunk_size)
+    stream_identical = (
+        len(streamed) == len(whole) == len(encode.reconstruction)
+        and all(a == b for a, b in zip(streamed, whole))
+        and all(a == b for a, b in zip(streamed, encode.reconstruction))
+    )
+    peak = session.stats().peak_buffered_bytes
+
+    # -- identity: streamed encode bytes == whole-sequence bytes -------
+    encode_identical = True
+    for version in (1, 2):
+        reference = (
+            bitstream
+            if version == 2
+            else encode_sequence(clip, qp=qp, estimator=estimator, bitstream_version=1).bitstream
+        )
+        streaming_encoder = StreamEncoder(
+            estimator=estimator, qp=qp, bitstream_version=version
+        )
+        if b"".join(streaming_encoder.encode_iter(iter(clip))) != reference:
+            encode_identical = False
+
+    # -- the memory bound the subsystem promises -----------------------
+    # Two frames' worth of payload plus one reconstruction window.  "A
+    # frame's worth of payload" is a raw frame's bytes (compressed
+    # payloads sit far below that; a pathological stream that expands
+    # past raw size widens its own budget rather than faking a pass).
+    raw_frame = frame_size_bytes(clip.geometry)
+    max_payload = max(e - s for s, e in FrameIndex.scan(bitstream).ranges)
+    bound = 2 * max(raw_frame, max_payload) + raw_frame
+
+    whole_s = _best_of(lambda: decode_bitstream(bitstream), rounds)
+    stream_s = _best_of(lambda: _stream_decode_once(bitstream, chunk_size), rounds)
+    return StreamBenchResult(
+        sequence=sequence,
+        frames=frames,
+        qp=qp,
+        estimator=estimator,
+        bitstream_bytes=len(bitstream),
+        chunk_size=chunk_size,
+        whole_ms=whole_s * 1000.0,
+        stream_ms=stream_s * 1000.0,
+        peak_buffered_bytes=peak,
+        buffer_bound_bytes=bound,
+        stream_identical=stream_identical,
+        encode_identical=encode_identical,
+    )

@@ -1,0 +1,226 @@
+"""Push-based streaming decoder with bounded memory.
+
+:class:`StreamDecoder` is a decode *session*: the caller pushes byte
+chunks of a version-2 stream in whatever sizes the transport delivers
+(network reads, 1-byte feeds, chunk boundaries inside start codes or
+length fields — all equivalent), and decoded frames come out as soon as
+their last byte lands, bit-identical to what
+:func:`repro.codec.decoder.decode_bitstream` produces from the whole
+buffer.  The pipeline per frame is exactly the batched one the indexed
+parallel decode uses: :class:`ScanState` completes the payload,
+:func:`parse_picture` walks its symbols through the LUT reader,
+:func:`check_frame_length` validates the framing, and
+:func:`reconstruct_picture` rebuilds pixels against the running
+reference.
+
+Memory is bounded by ``max_buffered_frames``: once that many decoded
+frames sit undrained, further completed payloads wait *as compressed
+bytes* and :meth:`feed` reports zero demand — the backpressure signal
+for the producer to pause until the consumer drains :meth:`frames`.
+The decoder never drops or reorders anything; a producer that ignores
+demand only grows the pending-payload queue.
+
+Version-1 streams are not push-decodable (no framing to find picture
+boundaries without parsing) and are rejected on the first bytes with a
+precise error; the whole-buffer :func:`decode_bitstream` remains the
+tool for those.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.codec.bitstream import BitReader
+from repro.codec.decoder import (
+    check_frame_length,
+    parse_picture,
+    reconstruct_picture,
+)
+from repro.streaming.scanner import ScanState
+from repro.video.frame import Frame
+
+
+def frame_bytes(frame: Frame) -> int:
+    """Decoded size of a frame: the bytes of its three planes."""
+    return frame.y.nbytes + frame.cb.nbytes + frame.cr.nbytes
+
+
+class StreamDecoder:
+    """Incremental v2 decode session.
+
+    Parameters
+    ----------
+    max_buffered_frames:
+        Decoded-frame buffer depth (>= 1).  When full, newly completed
+        payloads stay compressed in a pending queue and :meth:`feed`
+        reports zero demand until the consumer drains :meth:`frames`.
+    on_frame:
+        Optional callback invoked with each decoded :class:`Frame` the
+        moment it completes.  In callback mode frames are *not* also
+        queued on :meth:`frames` — the callback is the consumer, so
+        demand never drops and decode keeps pace with the feed.
+
+    Usage::
+
+        decoder = StreamDecoder()
+        for chunk in transport:
+            decoder.feed(chunk)
+            for frame in decoder.frames():
+                consume(frame)
+        decoder.close()
+        for frame in decoder.frames():
+            consume(frame)
+    """
+
+    def __init__(
+        self,
+        max_buffered_frames: int = 2,
+        on_frame: Callable[[Frame], None] | None = None,
+    ) -> None:
+        if max_buffered_frames < 1:
+            raise ValueError(
+                f"max_buffered_frames must be >= 1, got {max_buffered_frames}"
+            )
+        self.max_buffered_frames = max_buffered_frames
+        self._on_frame = on_frame
+        self._scanner = ScanState(keep_payloads=True)
+        self._ready: deque[Frame] = deque()
+        self._reference: Frame | None = None
+        self._frame_index = 0
+        self._closed = False
+        #: Peak bytes held across the scanner accumulator, completed-but-
+        #: undecoded payloads and decoded-but-undrained frames — the
+        #: quantity the streaming bench bounds.
+        self.peak_buffered_bytes = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def bytes_fed(self) -> int:
+        return self._scanner.bytes_fed
+
+    @property
+    def frames_decoded(self) -> int:
+        """Frames fully decoded so far (drained or not)."""
+        return self._frame_index
+
+    @property
+    def frames_scanned(self) -> int:
+        """Input pictures whose payload has fully arrived."""
+        return self._scanner.frames_scanned
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently buffered: scanner accumulator + pending
+        compressed payloads + decoded frames awaiting :meth:`frames`."""
+        return (
+            self._scanner.buffered_bytes
+            + sum(len(p) for p in self._scanner.payloads)
+            + sum(frame_bytes(f) for f in self._ready)
+        )
+
+    @property
+    def demand(self) -> int:
+        """How many more frames the session is willing to buffer —
+        zero means "drain :meth:`frames` before feeding more"."""
+        if self._on_frame is not None:
+            return self.max_buffered_frames
+        backlog = len(self._ready) + len(self._scanner.payloads)
+        return max(0, self.max_buffered_frames - backlog)
+
+    # -- the push surface ------------------------------------------------
+
+    def feed(self, chunk: bytes) -> int:
+        """Push the next chunk; returns the remaining :attr:`demand`.
+
+        Raises the same errors the whole-buffer decode raises on the
+        same bytes: a version-1 opening, garbage where a start code
+        belongs, a corrupt length field (surfaced by the per-frame
+        :func:`check_frame_length` validation), or a malformed picture
+        payload.
+        """
+        if self._closed:
+            raise ValueError("feed() after close(): the stream was already closed")
+        self._scanner.feed(chunk)
+        self._advance()
+        self._note_peak()
+        return self.demand
+
+    def frames(self) -> Iterator[Frame]:
+        """Drain every decoded frame ready so far, oldest first.
+
+        Draining frees buffer slots, so pending compressed payloads
+        decode as the iterator advances — a consumer looping over this
+        after every :meth:`feed` keeps the session inside its memory
+        bound.
+        """
+        while True:
+            self._advance()
+            if not self._ready:
+                return
+            yield self._ready.popleft()
+
+    def close(self) -> None:
+        """Declare end of stream.
+
+        Validates the tail exactly as the whole-buffer scan does: a
+        fragment too short to open a frame is ignored, a frame whose
+        declared payload never fully arrived raises the scanner's
+        "overruns" error naming the byte offsets.  Frames already
+        completed remain drainable via :meth:`frames`.  Idempotent once
+        it returns cleanly.
+        """
+        if self._closed:
+            return
+        self._scanner.finish()
+        self._closed = True
+
+    # -- internals -------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Decode pending payloads into the ready queue up to the
+        buffer bound (no bound applies in callback mode)."""
+        payloads = self._scanner.payloads
+        while payloads and (
+            self._on_frame is not None or len(self._ready) < self.max_buffered_frames
+        ):
+            payload = payloads.popleft()
+            reader = BitReader(payload)
+            parsed = parse_picture(reader)
+            check_frame_length(reader, len(payload))
+            frame = reconstruct_picture(parsed, self._reference, self._frame_index)
+            self._reference = frame
+            self._frame_index += 1
+            if self._on_frame is not None:
+                self._on_frame(frame)
+            else:
+                self._ready.append(frame)
+
+    def _note_peak(self) -> None:
+        self.peak_buffered_bytes = max(self.peak_buffered_bytes, self.buffered_bytes)
+
+
+def stream_decode(
+    chunks,
+    max_buffered_frames: int = 2,
+) -> Iterator[Frame]:
+    """Decode an iterable of byte chunks, yielding frames as they
+    complete — the generator face of :class:`StreamDecoder`.
+
+    >>> from repro.codec.encoder import encode_sequence
+    >>> from repro.video.synthesis.sequences import make_sequence
+    >>> seq = make_sequence("miss_america", frames=2)
+    >>> enc = encode_sequence(seq, qp=20, keep_reconstruction=True,
+    ...                       bitstream_version=2)
+    >>> chunks = [enc.bitstream[i:i + 7] for i in range(0, len(enc.bitstream), 7)]
+    >>> decoded = list(stream_decode(chunks))
+    >>> all(d == r for d, r in zip(decoded, enc.reconstruction))
+    True
+    """
+    decoder = StreamDecoder(max_buffered_frames=max_buffered_frames)
+    for chunk in chunks:
+        decoder.feed(chunk)
+        yield from decoder.frames()
+    decoder.close()
+    yield from decoder.frames()

@@ -1,0 +1,144 @@
+"""Stat-keeping session wrappers around the streaming codec.
+
+:class:`DecodeSession` and :class:`EncodeSession` are the thin layer the
+CLI subcommands (``runner stream-decode`` / ``stream-encode``) and the
+streaming benchmark talk to: the same push/pull surfaces as
+:class:`~repro.streaming.decoder.StreamDecoder` /
+:class:`~repro.streaming.encoder.StreamEncoder`, plus a
+:class:`SessionStats` snapshot — frames and bytes in and out, current
+and peak buffered bytes, wall-clock since the session opened — so a
+serving harness can report throughput and verify the memory bound
+without instrumenting the internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.streaming.decoder import StreamDecoder, frame_bytes
+from repro.streaming.encoder import StreamEncoder
+from repro.video.frame import Frame
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """One session's counters at a point in time."""
+
+    frames_in: int
+    frames_out: int
+    bytes_in: int
+    bytes_out: int
+    buffered_bytes: int
+    peak_buffered_bytes: int
+    wall_s: float
+
+    def as_text(self) -> str:
+        return (
+            f"frames {self.frames_in} in / {self.frames_out} out, "
+            f"bytes {self.bytes_in} in / {self.bytes_out} out, "
+            f"buffered {self.buffered_bytes} (peak {self.peak_buffered_bytes}), "
+            f"{self.wall_s:.3f}s"
+        )
+
+
+class DecodeSession:
+    """A :class:`StreamDecoder` plus counters.
+
+    ``frames_in`` counts completed input pictures (scanner frames),
+    ``frames_out`` counts frames the consumer drained, ``bytes_out``
+    counts their decoded pixel bytes.
+    """
+
+    def __init__(self, max_buffered_frames: int = 2) -> None:
+        self._decoder = StreamDecoder(max_buffered_frames=max_buffered_frames)
+        self._started = time.perf_counter()
+        self._frames_out = 0
+        self._bytes_out = 0
+
+    def feed(self, chunk: bytes) -> int:
+        """Push a chunk; returns remaining demand (see
+        :meth:`StreamDecoder.feed`)."""
+        return self._decoder.feed(chunk)
+
+    def frames(self) -> Iterator[Frame]:
+        for frame in self._decoder.frames():
+            self._frames_out += 1
+            self._bytes_out += frame_bytes(frame)
+            yield frame
+
+    def close(self) -> None:
+        self._decoder.close()
+
+    def stats(self) -> SessionStats:
+        return SessionStats(
+            frames_in=self._decoder.frames_scanned,
+            frames_out=self._frames_out,
+            bytes_in=self._decoder.bytes_fed,
+            bytes_out=self._bytes_out,
+            buffered_bytes=self._decoder.buffered_bytes,
+            peak_buffered_bytes=self._decoder.peak_buffered_bytes,
+            wall_s=time.perf_counter() - self._started,
+        )
+
+
+class EncodeSession:
+    """A :class:`StreamEncoder` plus counters.
+
+    ``buffered_bytes`` for an encode is the writer's unflushed remainder
+    — always less than one byte per picture boundary — so the stats
+    surface reports zero; the interesting numbers are frames in, bytes
+    out and wall clock.
+    """
+
+    def __init__(
+        self,
+        estimator="acbm",
+        qp: int = 16,
+        estimator_kwargs: dict | None = None,
+        use_engine: bool = True,
+        bitstream_version: int = 1,
+    ) -> None:
+        self._encoder = StreamEncoder(
+            estimator=estimator,
+            qp=qp,
+            estimator_kwargs=estimator_kwargs,
+            use_engine=use_engine,
+            bitstream_version=bitstream_version,
+        )
+        self._started = time.perf_counter()
+        self._bytes_in = 0
+        self._bytes_out = 0
+
+    @property
+    def records(self):
+        return self._encoder.records
+
+    def encode_iter(self, frames: Iterable[Frame]) -> Iterator[bytes]:
+        def counted(source: Iterable[Frame]) -> Iterator[Frame]:
+            for frame in source:
+                self._bytes_in += frame_bytes(frame)
+                yield frame
+
+        for chunk in self._encoder.encode_iter(counted(frames)):
+            self._bytes_out += len(chunk)
+            yield chunk
+
+    def encode_to(self, sink, frames: Iterable[Frame]) -> int:
+        written = 0
+        for chunk in self.encode_iter(frames):
+            sink.write(chunk)
+            written += len(chunk)
+        return written
+
+    def stats(self) -> SessionStats:
+        return SessionStats(
+            frames_in=len(self._encoder.records),
+            frames_out=len(self._encoder.records),
+            bytes_in=self._bytes_in,
+            bytes_out=self._bytes_out,
+            buffered_bytes=0,
+            peak_buffered_bytes=0,
+            wall_s=time.perf_counter() - self._started,
+        )

@@ -24,25 +24,43 @@ def frame_size_bytes(geometry: FrameGeometry) -> int:
     return geometry.pixels + 2 * geometry.chroma_width * geometry.chroma_height
 
 
-def iter_yuv_frames(path: str | os.PathLike, geometry: FrameGeometry) -> Iterator[Frame]:
-    """Stream frames from a raw planar 4:2:0 file.
+def iter_yuv_frames(
+    path: str | os.PathLike,
+    geometry: FrameGeometry,
+    max_frames: int | None = None,
+) -> Iterator[Frame]:
+    """Stream frames from a raw planar 4:2:0 file, one at a time.
+
+    This is the bounded-memory ingest path: only one frame's bytes are
+    resident at a time, so it feeds
+    :class:`repro.streaming.StreamEncoder` directly for files of any
+    size.  ``max_frames`` stops after that many frames without reading
+    the rest of the file.
 
     Raises
     ------
     ValueError
-        If the file size is not a whole number of frames (a nearly
-        certain sign of a wrong geometry).
+        If the file size is not a whole number of frames — a truncated
+        trailing frame or (far more often) a wrong geometry.  The error
+        names the offending byte count so the two causes are
+        distinguishable: a few stray bytes mean truncation, a large
+        remainder means the geometry is wrong.
     """
     fsize = os.path.getsize(path)
     per_frame = frame_size_bytes(geometry)
-    if fsize % per_frame:
+    leftover = fsize % per_frame
+    if leftover:
         raise ValueError(
             f"{path}: size {fsize} is not a multiple of the "
-            f"{geometry.width}x{geometry.height} frame size {per_frame}"
+            f"{geometry.width}x{geometry.height} frame size {per_frame} — "
+            f"{leftover} trailing bytes (truncated last frame, or wrong geometry)"
         )
+    count = fsize // per_frame
+    if max_frames is not None:
+        count = min(count, max_frames)
     ch, cw = geometry.chroma_height, geometry.chroma_width
     with open(path, "rb") as fh:
-        for index in range(fsize // per_frame):
+        for index in range(count):
             raw = fh.read(per_frame)
             buf = np.frombuffer(raw, dtype=np.uint8)
             y_end = geometry.pixels
@@ -60,12 +78,9 @@ def read_yuv(
     max_frames: int | None = None,
     name: str = "",
 ) -> Sequence:
-    """Load a raw 4:2:0 file into a :class:`Sequence`."""
-    frames = []
-    for frame in iter_yuv_frames(path, geometry):
-        if max_frames is not None and len(frames) >= max_frames:
-            break
-        frames.append(frame)
+    """Load a raw 4:2:0 file into a :class:`Sequence` (``max_frames``
+    bounds the ingest; the rest of the file is never read)."""
+    frames = list(iter_yuv_frames(path, geometry, max_frames=max_frames))
     if not frames:
         raise ValueError(f"{path}: no frames read")
     return Sequence(frames, fps=fps, name=name or os.path.basename(os.fspath(path)))

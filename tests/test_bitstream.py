@@ -82,6 +82,41 @@ class TestBitWriter:
         with pytest.raises(ValueError):
             w.patch_u32(0, 1 << 32)
 
+    def test_drain_hands_out_whole_bytes_only(self):
+        w = BitWriter()
+        w.write_bits(0xABC, 12)
+        assert w.drain() == bytes([0xAB])  # the partial 0xC nibble stays
+        assert w.drain() == b""  # nothing new flushed
+        w.write_bits(0xD, 4)
+        assert w.drain() == bytes([0xCD])
+
+    def test_drained_chunks_plus_getvalue_reproduce_stream(self):
+        undrained = BitWriter()
+        drained = BitWriter()
+        chunks = []
+        for value, count in [(0x7E7E, 16), (3, 5), (0b101, 3), (0xABCDE, 20), (1, 1)]:
+            for w in (undrained, drained):
+                w.write_bits(value, count)
+            chunks.append(drained.drain())
+        assert b"".join(chunks) + drained.getvalue() == undrained.getvalue()
+
+    def test_positions_stay_absolute_across_drain(self):
+        """byte_length keeps counting drained bytes, patch_u32 still
+        targets absolute offsets, and already-drained bytes are
+        rejected — the contract the streaming encoder's v2 length
+        backpatching rides on."""
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.drain() == bytes([0xAB])
+        assert w.byte_length == 1
+        pos = w.byte_length
+        w.write_bits(0, 32)  # placeholder at absolute byte 1
+        w.write_bits(0xCD, 8)
+        w.patch_u32(pos, 0xDEADBEEF)
+        assert w.getvalue() == bytes([0xDE, 0xAD, 0xBE, 0xEF, 0xCD])
+        with pytest.raises(ValueError, match="drained"):
+            w.patch_u32(0, 0)
+
 
 class TestBitReader:
     def test_reads_back_writer_output(self):

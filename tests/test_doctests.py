@@ -16,6 +16,7 @@ import repro.core.classifier
 import repro.core.parameters
 import repro.me.estimator
 import repro.parallel.pool
+import repro.streaming.decoder
 import repro.video.synthesis.sequences
 
 MODULES = [
@@ -27,6 +28,7 @@ MODULES = [
     repro.core.parameters,
     repro.me.estimator,
     repro.parallel.pool,
+    repro.streaming.decoder,
     repro.video.synthesis.sequences,
 ]
 

@@ -54,6 +54,13 @@ def test_characterization(tmp_path):
     assert header.startswith("frame_pair,")
 
 
+def test_streaming(tmp_path):
+    proc = run_example("streaming.py", "--frames", "3", "--chunk-size", "256")
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-identical to whole-buffer decode: True" in proc.stdout
+    assert "peak buffered" in proc.stdout
+
+
 def test_custom_sequence(tmp_path):
     proc = run_example(
         "custom_sequence.py", "--outdir", str(tmp_path), "--frames", "4", "--qp", "20"

@@ -37,6 +37,37 @@ class TestParser:
         assert args.frames == 9
         assert args.seed == 3
 
+    def test_stream_subcommands_exist(self):
+        parser = build_parser()
+        args = parser.parse_args(["stream-encode", "--from-yuv", "clip.yuv"])
+        assert args.command == "stream-encode"
+        assert args.geometry.width == 176 and args.geometry.height == 144
+        assert args.bitstream_version == 2
+        args = parser.parse_args(["stream-decode", "stream.v2", "--chunk-size", "7"])
+        assert args.command == "stream-decode"
+        assert args.chunk_size == 7
+        assert args.verify is False
+        args = parser.parse_args(["stream-bench", "--frames", "4"])
+        assert args.command == "stream-bench"
+        assert args.chunk_size == 1500
+
+    def test_stream_encode_geometry_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["stream-encode", "--from-yuv", "c.yuv", "--geometry", "cif"]
+        )
+        assert args.geometry.width == 352
+        args = parser.parse_args(
+            ["stream-encode", "--from-yuv", "c.yuv", "--geometry", "64x48"]
+        )
+        assert (args.geometry.width, args.geometry.height) == (64, 48)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream-encode", "--from-yuv", "c.yuv", "--geometry", "65x48"])
+
+    def test_stream_encode_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream-encode"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -120,6 +151,84 @@ class TestMain:
         loudly instead of silently ignoring it."""
         argv = ["decode-bench", "--parse-only", "--jobs", "4"]
         assert main(argv) == 2
+
+    def test_stream_encode_decode_round_trip(self, capsys, tmp_path):
+        """The CI smoke in miniature: YUV file → stream-encode (v2) →
+        stream-decode in 7-byte chunks with whole-buffer identity
+        gated, decoded planes written back out as YUV."""
+        import numpy as np
+
+        from repro.video.frame import Frame, FrameGeometry
+        from repro.video.sequence import Sequence
+        from repro.video.yuv_io import frame_size_bytes, write_yuv
+
+        geometry = FrameGeometry(32, 32)
+        rng = np.random.default_rng(3)
+        clip = Sequence(
+            [
+                Frame(
+                    rng.integers(0, 256, (32, 32), dtype=np.uint8),
+                    rng.integers(0, 256, (16, 16), dtype=np.uint8),
+                    rng.integers(0, 256, (16, 16), dtype=np.uint8),
+                    index=i,
+                )
+                for i in range(3)
+            ],
+            fps=30,
+        )
+        yuv = tmp_path / "clip.yuv"
+        write_yuv(yuv, clip)
+        stream = tmp_path / "stream.v2"
+        assert main([
+            "stream-encode", "--from-yuv", str(yuv), "--geometry", "32x32",
+            "--qp", "20", "--estimator", "tss", "--out", str(stream),
+        ]) == 0
+        decoded = tmp_path / "decoded.yuv"
+        assert main([
+            "stream-decode", str(stream), "--chunk-size", "7",
+            "--out", str(decoded), "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "identical to whole-buffer decode: True" in out
+        assert decoded.stat().st_size == 3 * frame_size_bytes(geometry)
+
+    def test_stream_decode_rejects_zero_chunk_size(self, capsys, tmp_path):
+        stream = tmp_path / "s.v2"
+        stream.write_bytes(b"\x00\x00\x01\xb6")
+        assert main(["stream-decode", str(stream), "--chunk-size", "0"]) == 2
+        assert "chunk-size" in capsys.readouterr().err
+        assert main(["stream-decode", str(stream), "--max-buffered", "0"]) == 2
+        assert "max-buffered" in capsys.readouterr().err
+
+    def test_stream_decode_reports_missing_input(self, capsys, tmp_path):
+        assert main(["stream-decode", str(tmp_path / "nope.v2")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_decode_reports_corrupt_stream(self, capsys, tmp_path):
+        bad = tmp_path / "bad.v2"
+        bad.write_bytes(b"\x00\x00\x01\xb6" + (1 << 20).to_bytes(4, "big") + b"\x00" * 32)
+        assert main(["stream-decode", str(bad)]) == 1
+        assert "overruns" in capsys.readouterr().err
+
+    def test_stream_bench_small_run(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_stream.json"
+        argv = [
+            "stream-bench", "--frames", "3", "--sequences", "miss_america",
+            "--qps", "20", "--rounds", "1", "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical (streamed == whole-buffer == encoder loop): True" in out
+        assert "stream-encode byte-identical (v1 and v2): True" in out
+        records = json.loads(out_path.read_text())
+        assert set(records) == {
+            "stream_whole_decode_ms", "stream_push_decode_ms",
+            "stream_vs_whole_speedup", "stream_decode_mbps",
+            "stream_peak_buffered_bytes", "stream_buffer_bound_bytes",
+        }
+        assert records["stream_peak_buffered_bytes"] < records["stream_buffer_bound_bytes"]
 
     def test_decode_bench_v2(self, capsys, tmp_path):
         """--bitstream-version 2 verifies the frame index and the

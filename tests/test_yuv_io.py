@@ -50,6 +50,12 @@ class TestRoundTrip:
         back = read_yuv(path, SMALL, max_frames=2)
         assert len(back) == 2
 
+    def test_iter_respects_max_frames(self, tmp_path):
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(5))
+        frames = list(iter_yuv_frames(path, SMALL, max_frames=3))
+        assert [f.index for f in frames] == [0, 1, 2]
+
     def test_read_assigns_indices(self, tmp_path):
         path = tmp_path / "clip.yuv"
         write_yuv(path, random_sequence(3))
@@ -68,6 +74,27 @@ class TestErrors:
         write_yuv(path, random_sequence(2))
         with pytest.raises(ValueError, match="not a multiple"):
             list(iter_yuv_frames(path, QCIF))
+
+    def test_truncated_trailing_frame_names_byte_count(self, tmp_path):
+        """A file cut mid-frame raises an error naming exactly how many
+        trailing bytes the partial frame left behind."""
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(3))
+        data = path.read_bytes()
+        path.write_bytes(data[:-37])
+        per_frame = frame_size_bytes(SMALL)
+        with pytest.raises(ValueError, match=f"{per_frame - 37} trailing bytes"):
+            list(iter_yuv_frames(path, SMALL))
+
+    def test_truncation_error_even_when_bounded(self, tmp_path):
+        """max_frames does not mask a corrupt file: the size check runs
+        before any frame is yielded."""
+        path = tmp_path / "clip.yuv"
+        write_yuv(path, random_sequence(3))
+        path.write_bytes(path.read_bytes()[:-1])
+        leftover = frame_size_bytes(SMALL) - 1
+        with pytest.raises(ValueError, match=f"{leftover} trailing bytes"):
+            list(iter_yuv_frames(path, SMALL, max_frames=1))
 
     def test_empty_file(self, tmp_path):
         path = tmp_path / "empty.yuv"
