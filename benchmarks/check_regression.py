@@ -26,12 +26,13 @@ Key classification, shared with the benchmark writers:
 * anything else (``machine_*`` descriptors and other metadata) is
   reported but never gates.
 
-One machine-shaped exception: ``parallel_*`` speedup keys compare a
-multi-process run against a serial one, which only makes sense with
-parallel hardware underneath — when the fresh record says
-``machine_cpu_count < 2`` they are reported as info instead of gated
-(``benchmarks/test_bench_parallel.py`` applies the same rule to its
-own hard assert).
+One machine-shaped exception: ``parallel_*``, ``transport_*`` and
+``stream_pipeline_*`` speedup keys compare a multi-worker run against
+a serial one, which only makes sense with parallel hardware underneath
+— when the fresh record says ``machine_cpu_count < 2`` they are
+reported as info instead of gated (``benchmarks/test_bench_parallel.py``,
+``test_bench_transport.py`` and ``test_bench_stream.py`` apply the
+same rule to their own hard asserts).
 
 Usage::
 
@@ -57,6 +58,10 @@ BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 #: Keys gated as lower-is-better / higher-is-better.
 LOWER_IS_BETTER_SUFFIX = "_ms"
 HIGHER_IS_BETTER_MARKER = "speedup"
+
+#: Speedup keys that compare multi-worker against serial execution —
+#: informational (not gated) when the fresh machine has one core.
+MULTI_CORE_ONLY_PREFIXES = ("parallel_", "transport_", "stream_pipeline_")
 
 
 def classify(key: str) -> str | None:
@@ -99,7 +104,7 @@ def compare_file(
         new = float(fresh[key])
         kind = classify(key)
         gates = kind == "higher" or (kind == "lower" and gate_absolute)
-        if gates and single_core and key.startswith("parallel_"):
+        if gates and single_core and key.startswith(MULTI_CORE_ONLY_PREFIXES):
             gates = False  # multi-worker vs serial is meaningless on one core
         if kind is None or base <= 0:
             print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {new:10.3f}  (info)")

@@ -591,6 +591,7 @@ def decode_bitstream(
     use_engine: bool = True,
     jobs: int = 1,
     base_seed: int = 0,
+    use_shm: bool = False,
 ) -> list[Frame]:
     """Decode ``frames`` pictures (or all that fit) from a bitstream.
 
@@ -604,6 +605,11 @@ def decode_bitstream(
     without parsing) and the per-block reference path
     (``use_engine=False``) ignore ``jobs`` and decode serially; results
     are bit-identical in every mode.
+
+    ``use_shm=True`` moves the parse jobs' frame payloads and parsed
+    symbols through shared memory instead of the worker pipe
+    (``run_jobs(..., use_shm=True)``); it changes transport only, never
+    bits, and is ignored when ``jobs`` stay serial.
 
     >>> from repro.video.synthesis.sequences import make_sequence
     >>> from repro.codec.encoder import encode_sequence
@@ -622,6 +628,7 @@ def decode_bitstream(
             [ParseFrameJob(payload=bitstream[s:e]) for s, e in ranges],
             workers=jobs,
             base_seed=base_seed,
+            use_shm=use_shm,
         )
         out: list[Frame] = []
         reference: Frame | None = None

@@ -187,6 +187,7 @@ def run_decode_bench(
     encode=None,
     jobs: int = 1,
     bitstream_version: int = 1,
+    use_shm: bool = False,
 ) -> DecodeBenchResult:
     """Encode ``frames`` of a synthetic clip, then time both decode
     paths over the same bitstream (best of ``rounds``).
@@ -204,6 +205,11 @@ def run_decode_bench(
     symbol parse: ``decode_bitstream(..., jobs=max(jobs, 2))`` must be
     bit-identical to the serial decode — the CI smoke path for the v2
     encode→index→parallel-parse→decode pipeline.
+
+    ``use_shm=True`` runs every parallel verification decode over the
+    shared-memory transport (``run_jobs(..., use_shm=True)``) — the CI
+    byte-identity smoke for PR 6's zero-copy path.  Timings are
+    unaffected (the timed decodes are always serial and in-process).
     """
     encode = _prepare_encode(
         sequence, frames, qp, estimator, seed, encode, bitstream_version
@@ -215,6 +221,7 @@ def run_decode_bench(
         [DecodeJob(bitstream, use_engine=True), DecodeJob(bitstream, use_engine=False)],
         workers=jobs,
         base_seed=seed,
+        use_shm=use_shm,
     )
     reconstruction_identical = (
         len(batched) == len(per_block) == len(encode.reconstruction)
@@ -224,7 +231,9 @@ def run_decode_bench(
     parallel_identical = None
     if bitstream_version == 2:
         index = FrameIndex.scan(bitstream)
-        parallel = decode_bitstream(bitstream, jobs=max(jobs, 2), base_seed=seed)
+        parallel = decode_bitstream(
+            bitstream, jobs=max(jobs, 2), base_seed=seed, use_shm=use_shm
+        )
         parallel_identical = len(index) == len(parallel) == len(batched) and all(
             p == b for p, b in zip(parallel, batched)
         )

@@ -14,7 +14,10 @@ Usage::
     python -m repro.experiments.runner stream-encode --from-yuv clip.yuv --geometry qcif \\
         --bitstream-version 2 --out stream.v2
     python -m repro.experiments.runner stream-decode stream.v2 --chunk-size 1500 --verify
+    python -m repro.experiments.runner stream-decode stream.v2 --pipeline process --verify
     python -m repro.experiments.runner stream-bench --json BENCH_stream.json
+    python -m repro.experiments.runner decode-bench --bitstream-version 2 --jobs 2 --shm
+    python -m repro.experiments.runner transport-bench --json BENCH_transport.json
 
 Each paper subcommand prints the same rows/series the corresponding
 table or figure reports; ``decode-bench`` runs an encode→decode round
@@ -31,7 +34,12 @@ bitstream as pictures close; ``stream-decode`` pushes a bitstream file
 (or stdin) through a bounded-memory decode session in fixed-size chunks
 and optionally re-decodes the whole buffer to gate bit-identity
 (``--verify``, the CI smoke); ``stream-bench`` times push vs
-whole-buffer decode and records ``BENCH_stream.json``.
+whole-buffer decode and records ``BENCH_stream.json``.  ``--pipeline``
+(on ``stream-decode`` and ``stream-bench``) overlaps symbol parse and
+reconstruction on a worker thread or spawned process; ``--shm`` (on
+``decode-bench``) and ``transport-bench`` exercise the shared-memory
+frame transport (:mod:`repro.transport`), recording what actually
+crosses the worker pipe into ``BENCH_transport.json``.
 """
 
 from __future__ import annotations
@@ -145,8 +153,18 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
         result = run_parse_bench(**common)
         failure = "ERROR: parse paths disagree (LUT reader != seed bit reader)"
     else:
+        if args.shm and args.bitstream_version != 2 and args.jobs <= 1:
+            print(
+                "error: --shm exercises the parallel transports; pair it with "
+                "--jobs >= 2 and/or --bitstream-version 2",
+                file=sys.stderr,
+            )
+            return 2
         result = run_decode_bench(
-            **common, jobs=args.jobs, bitstream_version=args.bitstream_version
+            **common,
+            jobs=args.jobs,
+            bitstream_version=args.bitstream_version,
+            use_shm=args.shm,
         )
         if getattr(result, "parallel_identical", None) is False:
             failure = "ERROR: v2 parallel parse decode diverged from the serial decode"
@@ -224,7 +242,10 @@ def cmd_stream_decode(args: argparse.Namespace) -> int:
     decoded = []  # kept only under --verify
     fed = bytearray() if args.verify else None
     try:
-        session = DecodeSession(max_buffered_frames=args.max_buffered)
+        session = DecodeSession(
+            max_buffered_frames=args.max_buffered,
+            pipeline=args.pipeline if args.pipeline != "off" else False,
+        )
 
         def drain() -> None:
             for frame in session.frames():
@@ -286,6 +307,7 @@ def cmd_stream_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         rounds=args.rounds,
         chunk_size=args.chunk_size,
+        pipeline=args.pipeline,
     )
     print(result.as_text())
     if args.json:
@@ -301,6 +323,38 @@ def cmd_stream_bench(args: argparse.Namespace) -> int:
             f"{result.buffer_bound_bytes}-byte bound",
             file=sys.stderr,
         )
+        return 1
+    return 0
+
+
+def cmd_transport_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.transport_bench import run_transport_bench
+
+    if args.sequences and len(args.sequences) > 1:
+        print("error: transport-bench takes a single --sequences value", file=sys.stderr)
+        return 2
+    if args.qps and len(args.qps) > 1:
+        print("error: transport-bench takes a single --qps value", file=sys.stderr)
+        return 2
+    result = run_transport_bench(
+        sequence=(args.sequences or ["foreman"])[0],
+        frames=args.frames,
+        qp=(args.qps or [16])[0],
+        estimator=args.estimator,
+        seed=args.seed,
+        rounds=args.rounds,
+        jobs=max(args.jobs, 2),
+    )
+    print(result.as_text())
+    if args.json:
+        path = Path(args.json)
+        write_records(result.records(), path)
+        print(f"recorded -> {path}", file=sys.stderr)
+    if not result.decode_identical:
+        print("ERROR: shared-memory decode diverged from the pickling decode", file=sys.stderr)
+        return 1
+    if not result.no_leaks:
+        print("ERROR: shared-memory segments leaked in /dev/shm", file=sys.stderr)
         return 1
     return 0
 
@@ -435,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
         "2 = byte-aligned start codes + frame lengths; v2 additionally "
         "verifies the frame index and the parallel symbol parse",
     )
+    decode.add_argument(
+        "--shm", action="store_true",
+        help="run the parallel verification decodes over the shared-memory "
+        "frame transport (byte-identity smoke for the zero-copy path; "
+        "pair with --jobs 2 and/or --bitstream-version 2)",
+    )
     stream_encode = sub.add_parser(
         "stream-encode",
         help="encode a raw YUV file incrementally (bounded memory, bytes out "
@@ -489,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also decode the whole buffer at once and fail unless the "
         "streamed frames are bit-identical (the CI smoke)",
     )
+    stream_decode.add_argument(
+        "--pipeline", choices=("off", "thread", "process"), default="off",
+        help="overlap symbol parse and reconstruction on a worker thread or "
+        "spawned process (default off; output is bit-identical either way)",
+    )
     stream_bench = sub.add_parser(
         "stream-bench", parents=[common],
         help="push decode vs whole-buffer decode timing + peak-memory bound",
@@ -508,6 +573,28 @@ def build_parser() -> argparse.ArgumentParser:
     stream_bench.add_argument(
         "--json", default=None, metavar="PATH",
         help="merge the timings into this JSON file (e.g. BENCH_stream.json)",
+    )
+    stream_bench.add_argument(
+        "--pipeline", choices=("thread", "process"), default="thread",
+        help="worker mode for the pipelined timing pass (default thread; "
+        "identity is always verified in both modes)",
+    )
+    transport = sub.add_parser(
+        "transport-bench", parents=[common],
+        help="shared-memory vs pickling transport: bytes crossing the worker "
+        "pipe per frame + parallel decode timing both ways",
+    )
+    transport.add_argument(
+        "--estimator", default="tss", metavar="NAME",
+        help="registry name of the search used for the encode (default tss)",
+    )
+    transport.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="timing repetitions per path, best-of (default 3)",
+    )
+    transport.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="merge the measurements into this JSON file (e.g. BENCH_transport.json)",
     )
     return parser
 
@@ -532,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_stream_decode(args)
     elif args.command == "stream-bench":
         return cmd_stream_bench(args)
+    elif args.command == "transport-bench":
+        return cmd_transport_bench(args)
     return 0
 
 

@@ -17,15 +17,27 @@ The streaming *encoder* is verified alongside: a
 must emit the whole-sequence encoder's bytes exactly, in both wire
 formats.
 
+A third pass times the **pipelined** session
+(``DecodeSession(pipeline=...)``, PR 6): symbol parse on a worker,
+reconstruction on the main side, joined by a bounded queue.  Its
+bit-identity is verified in thread *and* process mode every run; the
+timed mode is selectable (thread by default — no spawn cost).  The
+process pass also yields the transport ledger (``bytes_copied`` /
+``handles_passed``): compressed payloads cross by value, parsed symbol
+arrays return as shared-memory handles.
+
 ``runner stream-bench`` exposes this as a CLI mode;
 ``benchmarks/test_bench_stream.py`` records the numbers to
-``BENCH_stream.json`` for CI's regression gate (the gated key is the
+``BENCH_stream.json`` for CI's regression gate (the gated keys are the
 stream-vs-whole throughput ratio, which must stay near 1.0 — streaming
-adds scanning and bookkeeping, not compute).
+adds scanning and bookkeeping, not compute — and the pipelined speedup,
+gated only on multi-core machines; ``machine_cpu_count`` rides along so
+the gate can tell).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -57,11 +69,27 @@ class StreamBenchResult:
     stream_identical: bool
     #: StreamEncoder bytes == Encoder bytes, v1 and v2.
     encode_identical: bool
+    #: Pipelined session (thread AND process mode) == serial push decode.
+    pipeline_identical: bool
+    #: The pipeline mode that was *timed* ("thread" or "process").
+    pipeline_kind: str
+    pipeline_ms: float
+    pipeline_peak_buffered_bytes: int
+    #: Transport ledger from the process-mode identity pass.
+    bytes_copied: int
+    handles_passed: int
+    machine_cpu_count: int
 
     @property
     def identical(self) -> bool:
         """Every verified identity held (the CI gate)."""
-        return self.stream_identical and self.encode_identical
+        return self.stream_identical and self.encode_identical and self.pipeline_identical
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Pipelined vs serial push decode (1.0 = no overlap win; on a
+        single-core machine this is an honest <= 1.0ish measurement)."""
+        return self.stream_ms / self.pipeline_ms
 
     @property
     def within_bound(self) -> bool:
@@ -87,6 +115,12 @@ class StreamBenchResult:
             "stream_decode_mbps": self.stream_mbps,
             "stream_peak_buffered_bytes": float(self.peak_buffered_bytes),
             "stream_buffer_bound_bytes": float(self.buffer_bound_bytes),
+            "stream_pipeline_decode_ms": self.pipeline_ms,
+            "stream_pipeline_speedup": self.pipeline_speedup,
+            "stream_pipeline_peak_buffered_bytes": float(self.pipeline_peak_buffered_bytes),
+            "stream_bytes_copied": float(self.bytes_copied),
+            "stream_handles_passed": float(self.handles_passed),
+            "machine_cpu_count": float(self.machine_cpu_count),
         }
 
     def as_text(self) -> str:
@@ -97,21 +131,30 @@ class StreamBenchResult:
             f"  bit-identical (streamed == whole-buffer == encoder loop): "
             f"{self.stream_identical}\n"
             f"  stream-encode byte-identical (v1 and v2): {self.encode_identical}\n"
+            f"  pipelined bit-identical (thread and process): {self.pipeline_identical}\n"
+            f"  transport (process pipeline): {self.bytes_copied} B copied in, "
+            f"{self.handles_passed} handles back\n"
             f"  peak buffered {self.peak_buffered_bytes} bytes "
             f"(bound {self.buffer_bound_bytes}: within={self.within_bound}; "
             f"whole buffer holds {self.bitstream_bytes})\n"
             f"  whole {self.whole_ms:.1f} ms vs push {self.stream_ms:.1f} ms "
-            f"-> {self.speedup:.2f}x ({self.stream_mbps:.2f} Mbit/s)"
+            f"-> {self.speedup:.2f}x ({self.stream_mbps:.2f} Mbit/s); "
+            f"pipelined ({self.pipeline_kind}) {self.pipeline_ms:.1f} ms "
+            f"-> {self.pipeline_speedup:.2f}x vs push "
+            f"({self.machine_cpu_count} cpu)"
         )
 
 
 def _stream_decode_once(
-    bitstream: bytes, chunk_size: int, max_buffered_frames: int = 2
+    bitstream: bytes,
+    chunk_size: int,
+    max_buffered_frames: int = 2,
+    pipeline: bool | str = False,
 ) -> tuple[list, DecodeSession]:
     """One full push-decode pass: feed fixed-size chunks, drain after
     every feed (the well-behaved consumer the backpressure contract
     assumes).  Returns the decoded frames and the session."""
-    session = DecodeSession(max_buffered_frames=max_buffered_frames)
+    session = DecodeSession(max_buffered_frames=max_buffered_frames, pipeline=pipeline)
     out: list = []
     for start in range(0, len(bitstream), chunk_size):
         session.feed(bitstream[start : start + chunk_size])
@@ -139,15 +182,18 @@ def run_stream_bench(
     rounds: int = 3,
     chunk_size: int = 1500,
     clip=None,
+    pipeline: str = "thread",
 ) -> StreamBenchResult:
     """Encode ``frames`` of a synthetic clip as version 2, then time
-    whole-buffer vs push decode over the same bytes (best of
-    ``rounds``), verifying every identity first.
+    whole-buffer vs push vs pipelined push decode over the same bytes
+    (best of ``rounds``), verifying every identity first — including
+    the pipelined session in *both* worker modes.
 
     ``chunk_size`` defaults to an MTU-ish 1500 bytes — the shape a
-    network ingest actually delivers.  Pass a prebuilt ``Sequence`` via
-    ``clip`` to skip the synthesis (the benchmark suite shares one
-    render).
+    network ingest actually delivers.  ``pipeline`` picks the mode the
+    pipelined timing uses (``"thread"`` by default; ``"process"`` adds
+    one spawn per pass).  Pass a prebuilt ``Sequence`` via ``clip`` to
+    skip the synthesis (the benchmark suite shares one render).
     """
     if clip is None:
         clip = make_sequence(sequence, frames=frames, seed=seed)
@@ -167,6 +213,21 @@ def run_stream_bench(
         and all(a == b for a, b in zip(streamed, encode.reconstruction))
     )
     peak = session.stats().peak_buffered_bytes
+
+    # -- identity: pipelined session == serial push, both modes --------
+    pipeline_identical = True
+    bytes_copied = handles_passed = 0
+    pipeline_peak = 0
+    for kind in ("thread", "process"):
+        piped, piped_session = _stream_decode_once(bitstream, chunk_size, pipeline=kind)
+        stats = piped_session.stats()
+        if not (len(piped) == len(streamed) and all(a == b for a, b in zip(piped, streamed))):
+            pipeline_identical = False
+        if kind == "process":
+            bytes_copied = stats.bytes_copied
+            handles_passed = stats.handles_passed
+        if kind == pipeline:
+            pipeline_peak = stats.peak_buffered_bytes
 
     # -- identity: streamed encode bytes == whole-sequence bytes -------
     encode_identical = True
@@ -193,6 +254,9 @@ def run_stream_bench(
 
     whole_s = _best_of(lambda: decode_bitstream(bitstream), rounds)
     stream_s = _best_of(lambda: _stream_decode_once(bitstream, chunk_size), rounds)
+    pipeline_s = _best_of(
+        lambda: _stream_decode_once(bitstream, chunk_size, pipeline=pipeline), rounds
+    )
     return StreamBenchResult(
         sequence=sequence,
         frames=frames,
@@ -206,4 +270,11 @@ def run_stream_bench(
         buffer_bound_bytes=bound,
         stream_identical=stream_identical,
         encode_identical=encode_identical,
+        pipeline_identical=pipeline_identical,
+        pipeline_kind=pipeline,
+        pipeline_ms=pipeline_s * 1000.0,
+        pipeline_peak_buffered_bytes=pipeline_peak,
+        bytes_copied=bytes_copied,
+        handles_passed=handles_passed,
+        machine_cpu_count=os.cpu_count() or 1,
     )

@@ -1,0 +1,206 @@
+"""Transport benchmark: what crosses the process boundary, and how fast.
+
+The question PR 6 answers is not "is the codec faster" but "what does a
+frame cost to *move*": the job pool used to pickle every payload byte
+into the worker pipe and every result array back out.  With
+:mod:`repro.transport`, payloads live in shared memory and the pipe
+carries :class:`~repro.transport.FrameHandle`\\ s — a few hundred bytes
+regardless of frame size.  This benchmark measures that directly on a
+real decode workload:
+
+* **bytes pickled per frame** — the serialized size of one frame's
+  parse-job spec and of its parsed-symbol result, on the plain pickling
+  path vs the shared-memory path, plus the *payload* bytes riding in
+  each (the shm number must be ~0: handles only);
+* **end-to-end decode** — ``decode_bitstream(jobs=N)`` with
+  ``use_shm`` off vs on, bit-identity verified against the serial
+  decode first (best-of-``rounds`` timing; on a single-core CI box the
+  speedup is an honest ~1.0 and the regression gate knows not to gate
+  it);
+* **arena hygiene** — after every pass, no ``repro-*`` segment may
+  survive in ``/dev/shm`` (``no_leaks`` folds into the gated
+  ``identical`` flag).
+
+``runner transport-bench --json BENCH_transport.json`` records it;
+``benchmarks/test_bench_transport.py`` is the CI entry point.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+from dataclasses import dataclass
+
+from repro.codec.decoder import FrameIndex, decode_bitstream
+from repro.codec.encoder import encode_sequence
+from repro.parallel.jobs import ParseFrameJob
+from repro.video.synthesis.sequences import make_sequence
+
+# Re-exported for the runner's --json flag (same merge convention).
+from repro.experiments.decode_bench import write_records  # noqa: F401
+from repro.experiments.stream_bench import _best_of
+
+
+def shm_segments() -> list[str]:
+    """Live ``repro-*`` shared-memory segments (Linux: ``/dev/shm``).
+    The leak-check quantity; empty on other platforms, where the
+    in-test arena assertions still cover the refcount logic."""
+    return sorted(glob.glob("/dev/shm/repro-*"))
+
+
+@dataclass(frozen=True)
+class TransportBenchResult:
+    """One transport benchmark's outcome."""
+
+    sequence: str
+    frames: int
+    qp: int
+    jobs: int
+    bitstream_bytes: int
+    #: Mean pickled size of one frame's parse-job spec, both transports.
+    spec_pickle_bytes_plain: float
+    spec_pickle_bytes_shm: float
+    #: Mean *payload* bytes riding in that pickle (shm must be ~0).
+    payload_bytes_per_frame_plain: float
+    payload_bytes_per_frame_shm: float
+    #: Mean pickled size of one frame's parsed-symbol result.
+    result_pickle_bytes_plain: float
+    result_pickle_bytes_shm: float
+    decode_plain_ms: float
+    decode_shm_ms: float
+    #: Both parallel transports == the serial decode, bit for bit.
+    decode_identical: bool
+    #: /dev/shm swept clean after every pass.
+    no_leaks: bool
+    machine_cpu_count: int
+
+    @property
+    def identical(self) -> bool:
+        """The CI gate: identity held and nothing leaked."""
+        return self.decode_identical and self.no_leaks
+
+    @property
+    def shm_speedup(self) -> float:
+        """Shm-transport vs pickling decode at the same job count."""
+        return self.decode_plain_ms / self.decode_shm_ms
+
+    @property
+    def pickle_shrink(self) -> float:
+        """How many times smaller the spec pickle got (plain / shm)."""
+        return self.spec_pickle_bytes_plain / max(self.spec_pickle_bytes_shm, 1.0)
+
+    def records(self) -> dict[str, float]:
+        """Payload for ``BENCH_transport.json`` (timings ``_ms``, gated
+        ratio contains ``speedup``, byte counts are info).  The
+        ``transport_`` prefix also tells the regression gate to skip
+        speedup gating on single-core machines."""
+        return {
+            "transport_spec_pickle_bytes_plain": self.spec_pickle_bytes_plain,
+            "transport_spec_pickle_bytes_shm": self.spec_pickle_bytes_shm,
+            "transport_payload_bytes_per_frame_plain": self.payload_bytes_per_frame_plain,
+            "transport_payload_bytes_per_frame_shm": self.payload_bytes_per_frame_shm,
+            "transport_result_pickle_bytes_plain": self.result_pickle_bytes_plain,
+            "transport_result_pickle_bytes_shm": self.result_pickle_bytes_shm,
+            "transport_decode_plain_ms": self.decode_plain_ms,
+            "transport_decode_shm_ms": self.decode_shm_ms,
+            "transport_shm_speedup": self.shm_speedup,
+            "machine_cpu_count": float(self.machine_cpu_count),
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"transport bench: {self.sequence}, {self.frames} frames, qp={self.qp}, "
+            f"{self.bitstream_bytes} bytes (v2), --jobs {self.jobs}\n"
+            f"  bit-identical (shm == pickling == serial): {self.decode_identical}; "
+            f"/dev/shm clean: {self.no_leaks}\n"
+            f"  per-frame spec pickle: {self.spec_pickle_bytes_plain:.0f} B plain "
+            f"-> {self.spec_pickle_bytes_shm:.0f} B shm "
+            f"({self.pickle_shrink:.1f}x smaller; payload bytes "
+            f"{self.payload_bytes_per_frame_plain:.0f} -> "
+            f"{self.payload_bytes_per_frame_shm:.0f})\n"
+            f"  per-frame result pickle: {self.result_pickle_bytes_plain:.0f} B plain "
+            f"-> {self.result_pickle_bytes_shm:.0f} B shm\n"
+            f"  decode --jobs {self.jobs}: plain {self.decode_plain_ms:.1f} ms vs "
+            f"shm {self.decode_shm_ms:.1f} ms -> {self.shm_speedup:.2f}x "
+            f"({self.machine_cpu_count} cpu)"
+        )
+
+
+def run_transport_bench(
+    sequence: str = "foreman",
+    frames: int = 12,
+    qp: int = 16,
+    estimator: str = "tss",
+    seed: int = 0,
+    rounds: int = 3,
+    jobs: int = 2,
+    clip=None,
+) -> TransportBenchResult:
+    """Encode ``frames`` of a synthetic clip as version 2, then measure
+    the transport cost of its parallel decode both ways.
+
+    The pickled-size numbers come from the actual job specs and parsed
+    results of this stream; the timing is ``decode_bitstream`` at
+    ``jobs`` workers with ``use_shm`` off vs on, bit-identity against
+    the serial decode verified before anything is timed.
+    """
+    from repro.transport import FrameArena, export, materialize, payload_bytes
+
+    if clip is None:
+        clip = make_sequence(sequence, frames=frames, seed=seed)
+    encode = encode_sequence(clip, qp=qp, estimator=estimator, bitstream_version=2)
+    bitstream = encode.bitstream
+    frames = len(clip)
+
+    # -- what one frame costs to ship ----------------------------------
+    index = FrameIndex.scan(bitstream)
+    specs = [ParseFrameJob(payload=index.payload(bitstream, i)) for i in range(len(index))]
+    parsed = [spec.run() for spec in specs]
+    spec_plain = [len(pickle.dumps(spec)) for spec in specs]
+    payload_plain = [payload_bytes(spec.payload) for spec in specs]
+    result_plain = [len(pickle.dumps(p)) for p in parsed]
+    with FrameArena(name_prefix="repro-bench") as arena:
+        packed = [spec.pack_shm(arena.place) for spec in specs]
+        spec_shm = [len(pickle.dumps(spec)) for spec in packed]
+        # A packed spec's payload rides as a handle: zero payload bytes.
+        payload_shm = [payload_bytes(spec.payload) if spec.payload else 0 for spec in packed]
+    shared = [export(p, name_prefix="repro-bench") for p in parsed]
+    result_shm = [len(pickle.dumps(s)) for s in shared]
+    restored = [materialize(s, unlink=True) for s in shared]
+    decode_identical = restored == parsed
+
+    # -- end-to-end: parallel decode, both transports ------------------
+    serial = decode_bitstream(bitstream)
+    plain = decode_bitstream(bitstream, jobs=jobs)
+    shm = decode_bitstream(bitstream, jobs=jobs, use_shm=True)
+    for candidate in (plain, shm):
+        if not (len(candidate) == len(serial) and all(a == b for a, b in zip(candidate, serial))):
+            decode_identical = False
+    no_leaks = not shm_segments()
+
+    plain_s = _best_of(lambda: decode_bitstream(bitstream, jobs=jobs), rounds)
+    shm_s = _best_of(lambda: decode_bitstream(bitstream, jobs=jobs, use_shm=True), rounds)
+    no_leaks = no_leaks and not shm_segments()
+
+    def mean(values) -> float:
+        return sum(values) / max(len(values), 1)
+
+    return TransportBenchResult(
+        sequence=encode.name,
+        frames=frames,
+        qp=encode.qp,
+        jobs=jobs,
+        bitstream_bytes=len(bitstream),
+        spec_pickle_bytes_plain=mean(spec_plain),
+        spec_pickle_bytes_shm=mean(spec_shm),
+        payload_bytes_per_frame_plain=mean(payload_plain),
+        payload_bytes_per_frame_shm=mean(payload_shm),
+        result_pickle_bytes_plain=mean(result_plain),
+        result_pickle_bytes_shm=mean(result_shm),
+        decode_plain_ms=plain_s * 1000.0,
+        decode_shm_ms=shm_s * 1000.0,
+        decode_identical=decode_identical,
+        no_leaks=no_leaks,
+        machine_cpu_count=os.cpu_count() or 1,
+    )

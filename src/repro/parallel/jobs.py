@@ -23,8 +23,8 @@ them here at module level would cycle.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
@@ -32,19 +32,32 @@ from repro.experiments.config import ExperimentConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.rd_curves import SweepCell
+    from repro.transport import FrameHandle
     from repro.video.frame import FrameGeometry
     from repro.video.sequence import Sequence
 
 
 class JobSpec:
     """Minimal job interface: ``run`` does the work, ``describe`` is the
-    one-line progress label.  Subclasses are frozen dataclasses."""
+    one-line progress label.  Subclasses are frozen dataclasses.
+
+    ``pack_shm`` is the zero-copy seam: handed an arena's ``place``
+    function it returns a spec whose bulk payloads live in shared
+    memory (a :class:`~repro.transport.FrameHandle` instead of the
+    bytes).  The default is the identity — specs that carry only
+    primitives (:class:`EncodeJob`, :class:`SweepJob`,
+    :class:`Fig4PairJob`) have nothing to move and behave identically
+    under both transports.
+    """
 
     def run(self, rng: np.random.Generator | None = None):
         raise NotImplementedError
 
     def describe(self) -> str:
         return repr(self)
+
+    def pack_shm(self, place: "Callable[[np.ndarray], FrameHandle]") -> "JobSpec":
+        return self
 
 
 #: Per-process memo of 30 fps source renders keyed by
@@ -179,19 +192,37 @@ class SweepJob(JobSpec):
 @dataclass(frozen=True)
 class DecodeJob(JobSpec):
     """Decode one emitted bitstream through a chosen reconstruction
-    path; returns the decoded frame list."""
+    path; returns the decoded frame list.
 
-    bitstream: bytes
+    The bitstream travels either by value (``bitstream``, the pickling
+    path) or by reference (``bitstream_handle``, a shared-memory handle
+    a worker attaches on first use — see :meth:`pack_shm`); exactly one
+    of the two is set.  Both decode bit-identically.
+    """
+
+    bitstream: bytes | None
     use_engine: bool = True
+    bitstream_handle: "FrameHandle | None" = None
 
     def describe(self) -> str:
+        size = len(self.bitstream) if self.bitstream is not None else self.bitstream_handle.nbytes
         path = "batched" if self.use_engine else "per-block"
-        return f"decode {len(self.bitstream)}B ({path})"
+        return f"decode {size}B ({path})"
+
+    def pack_shm(self, place: "Callable[[np.ndarray], FrameHandle]") -> "DecodeJob":
+        if self.bitstream is None:
+            return self
+        return replace(self, bitstream=None, bitstream_handle=place(self.bitstream))
 
     def run(self, rng: np.random.Generator | None = None):
         from repro.codec.decoder import decode_bitstream
 
-        return decode_bitstream(self.bitstream, use_engine=self.use_engine)
+        data = self.bitstream
+        if data is None:
+            from repro.transport import read_array
+
+            data = read_array(self.bitstream_handle).tobytes()
+        return decode_bitstream(data, use_engine=self.use_engine)
 
 
 @dataclass(frozen=True)
@@ -210,20 +241,36 @@ class ParseFrameJob(JobSpec):
     same ``check_frame_length`` validation the sequential decoder
     applies runs here too — a corrupt length field fails in every
     mode.
+
+    Like :class:`DecodeJob`, the payload travels by value or as a
+    shared-memory handle (:meth:`pack_shm`); the parsed symbols are
+    identical either way.
     """
 
-    payload: bytes
+    payload: bytes | None
+    payload_handle: "FrameHandle | None" = None
 
     def describe(self) -> str:
-        return f"parse {len(self.payload)}B frame"
+        size = len(self.payload) if self.payload is not None else self.payload_handle.nbytes
+        return f"parse {size}B frame"
+
+    def pack_shm(self, place: "Callable[[np.ndarray], FrameHandle]") -> "ParseFrameJob":
+        if self.payload is None:
+            return self
+        return replace(self, payload=None, payload_handle=place(self.payload))
 
     def run(self, rng: np.random.Generator | None = None):
         from repro.codec.bitstream import BitReader
         from repro.codec.decoder import check_frame_length, parse_picture
 
-        reader = BitReader(self.payload)
+        payload = self.payload
+        if payload is None:
+            from repro.transport import read_array
+
+            payload = read_array(self.payload_handle).tobytes()
+        reader = BitReader(payload)
         parsed = parse_picture(reader)
-        check_frame_length(reader, len(self.payload))
+        check_frame_length(reader, len(payload))
         return parsed
 
 

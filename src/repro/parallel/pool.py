@@ -33,6 +33,21 @@ is therefore a pure function of ``(base_seed, job index)``: results
 cannot depend on worker count, job-to-worker placement, or completion
 order.  Jobs that want explicit randomness receive a
 ``numpy.random.Generator`` spawned from the same child.
+
+Shared-memory transport
+-----------------------
+
+``use_shm=True`` moves job payloads and result arrays through
+:mod:`repro.transport` instead of the executor's pickle stream: specs
+are repacked via ``JobSpec.pack_shm`` against a run-scoped
+:class:`~repro.transport.FrameArena` (workers attach segments on first
+use), and workers :func:`~repro.transport.export` their results'
+arrays into one-shot segments the parent materializes and unlinks as
+each chunk completes.  What crosses the pipe is handles — a few
+hundred bytes per value.  Results are bit-identical to the default
+pickling path (``use_shm=False``, which remains exactly the historical
+code path); the flag only changes how bytes travel.  In-process runs
+(``workers <= 1``) have no boundary to cross and ignore the flag.
 """
 
 from __future__ import annotations
@@ -51,9 +66,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel.jobs import JobSpec
 
 #: Progress callback signature: receives one line per job (the job's
-#: ``describe()``), fired in dispatch order in-process and in
-#: completion order in parallel mode.  Lines are not deduplicated —
-#: two jobs with equal descriptions produce two calls.
+#: ``describe()``).  The guarantee: **exactly one call per job**, fired
+#: in-process immediately *before* the job runs (live progress,
+#: matching the serial harnesses' historical timing) and in parallel
+#: mode as the job *completes*, in completion order.  To keep the
+#: parallel guarantee per-job rather than per-batch, supplying a
+#: callback makes the dispatch unit a single job (``chunk_size`` is
+#: ignored — per-job completion cannot be observed from inside a
+#: worker-side batch).  Lines are not deduplicated — two jobs with
+#: equal descriptions produce two calls.
 ProgressFn = Callable[[str], None]
 
 
@@ -88,10 +109,21 @@ def _chunks(items: Sequence, size: int) -> Iterable[tuple[int, list]]:
         yield start, list(items[start : start + size])
 
 
-def _run_chunk(payload: list) -> list:
+def _run_chunk(payload: list, use_shm: bool = False) -> list:
     """Worker-side chunk executor: ``payload`` is a list of
-    ``(job, seed_sequence)`` pairs, results returned in chunk order."""
-    return [execute_job(job, seed_seq) for job, seed_seq in payload]
+    ``(job, seed_sequence)`` pairs, results returned in chunk order.
+
+    Under ``use_shm`` each result's arrays are exported to a one-shot
+    shared segment before the return value crosses the pickle boundary
+    — the parent materializes (and unlinks) them as the chunk lands.
+    Results without array payloads are returned as-is either way.
+    """
+    results = [execute_job(job, seed_seq) for job, seed_seq in payload]
+    if use_shm:
+        from repro.transport import export
+
+        results = [export(result, name_prefix="repro-result") for result in results]
+    return results
 
 
 @contextmanager
@@ -127,6 +159,7 @@ def run_jobs(
     base_seed: int = 0,
     progress: ProgressFn | None = None,
     chunk_size: int = 1,
+    use_shm: bool = False,
 ) -> list:
     """Execute ``jobs`` and return their results in job order.
 
@@ -142,14 +175,17 @@ def run_jobs(
         Root of the per-job ``SeedSequence`` tree (see
         :func:`derive_job_seeds`).
     progress:
-        Optional per-job callable.  In-process it fires *before* each
-        job (live progress, matching the serial harnesses' historical
-        timing); in parallel mode it fires as each job's chunk
-        completes.
+        Optional per-job callable; see :data:`ProgressFn` for the
+        exactly-once-per-job guarantee.  Enabling it in parallel mode
+        forces per-job dispatch (``chunk_size`` is ignored).
     chunk_size:
         Jobs per dispatch unit.  The default of 1 suits the experiment
         harnesses, whose jobs are whole encodes (seconds each); raise
         it for large lists of sub-second jobs.
+    use_shm:
+        Move payload arrays through shared memory instead of the pickle
+        stream (see the module docstring).  Results are bit-identical
+        either way; ``False`` is exactly the historical pickling path.
     """
     job_list = list(jobs)
     if not job_list:
@@ -174,7 +210,29 @@ def run_jobs(
             return results
         finally:
             np.random.set_state(rng_state)
+    if not use_shm:
+        return _run_parallel(job_list, seeds, workers, progress, chunk_size, use_shm=False)
+    from repro.transport import FrameArena
 
+    # The arena must outlive every worker read of a packed spec, i.e.
+    # the whole parallel run; its exit unlinks all input segments.
+    # Result segments are one-shot exports the parent materializes (and
+    # unlinks) as each chunk completes — see _run_chunk.
+    with FrameArena(name_prefix="repro-jobs") as arena:
+        packed = [job.pack_shm(arena.place) for job in job_list]
+        return _run_parallel(packed, seeds, workers, progress, chunk_size, use_shm=True)
+
+
+def _run_parallel(
+    job_list: list,
+    seeds: list,
+    workers: int,
+    progress: ProgressFn | None,
+    chunk_size: int,
+    use_shm: bool,
+) -> list:
+    if progress is not None:
+        chunk_size = 1  # per-job completion reporting (see ProgressFn)
     results_by_index: list = [None] * len(job_list)
     workers = min(workers, len(job_list))
     with _exported_package_path():
@@ -183,7 +241,8 @@ def run_jobs(
         ) as executor:
             futures = {}
             for start, chunk in _chunks(list(zip(job_list, seeds)), chunk_size):
-                futures[executor.submit(_run_chunk, chunk)] = (start, len(chunk))
+                futures[executor.submit(_run_chunk, chunk, use_shm)] = (start, len(chunk))
+            failure: tuple[Exception, int, int] | None = None
             for future in as_completed(futures):
                 start, length = futures[future]
                 try:
@@ -193,12 +252,38 @@ def run_jobs(
                     # manager's shutdown would first run every queued
                     # chunk to completion and discard the results.
                     executor.shutdown(wait=False, cancel_futures=True)
-                    descriptions = ", ".join(
-                        j.describe() for j in job_list[start : start + length]
-                    )
-                    raise RuntimeError(f"parallel job failed ({descriptions}): {exc}") from exc
+                    failure = (exc, start, length)
+                    break
+                if use_shm:
+                    from repro.transport import materialize
+
+                    chunk_results = [materialize(r, unlink=True) for r in chunk_results]
                 results_by_index[start : start + length] = chunk_results
                 if progress is not None:
                     for job in job_list[start : start + length]:
                         progress(job.describe())
+        if failure is not None:
+            exc, start, length = failure
+            if use_shm:
+                _reap_exported_results(futures)
+            descriptions = ", ".join(
+                j.describe() for j in job_list[start : start + length]
+            )
+            raise RuntimeError(f"parallel job failed ({descriptions}): {exc}") from exc
     return results_by_index
+
+
+def _reap_exported_results(futures: dict) -> None:
+    """Failure-path hygiene under shm transport: chunks that completed
+    before the failure surfaced may have exported result segments the
+    parent never materialized — unlink them so the error leaves
+    ``/dev/shm`` as clean as success does."""
+    from repro.transport import materialize
+
+    for future in futures:
+        if future.done() and not future.cancelled() and future.exception() is None:
+            try:
+                for result in future.result():
+                    materialize(result, unlink=True)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass

@@ -23,10 +23,15 @@ directions incremental without touching the wire format or the math:
   file encodes without materializing a sequence), runs the closed loop
   one reference deep and yields encoded bytes per picture, byte-identical
   to the whole-sequence encoder in both wire formats;
+* :class:`ParseStage` — the pipelined parse worker (thread or spawned
+  process) behind ``StreamDecoder(pipeline=...)``: frame *n+1*'s
+  symbols parse while frame *n* reconstructs, results joined by a
+  bounded queue; process mode returns parsed arrays as shared-memory
+  handles via :mod:`repro.transport`;
 * :class:`DecodeSession` / :class:`EncodeSession` — thin stat-keeping
-  wrappers (frames in/out, bytes buffered, peak, wall clock) behind the
-  ``runner stream-decode`` / ``stream-encode`` subcommands and
-  ``experiments/stream_bench.py``.
+  wrappers (frames in/out, bytes buffered, peak, wall clock, transport
+  counters) behind the ``runner stream-decode`` / ``stream-encode``
+  subcommands and ``experiments/stream_bench.py``.
 
 ``tests/test_streaming.py`` pins the golden properties: StreamDecoder
 output is bit-identical to :func:`decode_bitstream` under *every*
@@ -38,11 +43,13 @@ bitstream byte for byte.
 from repro.streaming.scanner import ScanState
 from repro.streaming.decoder import StreamDecoder, stream_decode
 from repro.streaming.encoder import StreamEncoder
+from repro.streaming.pipeline import ParseStage
 from repro.streaming.session import DecodeSession, EncodeSession, SessionStats
 
 __all__ = [
     "DecodeSession",
     "EncodeSession",
+    "ParseStage",
     "ScanState",
     "SessionStats",
     "StreamDecoder",

@@ -24,6 +24,15 @@ Version-1 streams are not push-decodable (no framing to find picture
 boundaries without parsing) and are rejected on the first bytes with a
 precise error; the whole-buffer :func:`decode_bitstream` remains the
 tool for those.
+
+``pipeline=True`` (or ``"thread"`` / ``"process"``) overlaps the two
+halves of the per-frame work: a :class:`~repro.streaming.pipeline.ParseStage`
+worker parses frame *n+1*'s symbols while this side reconstructs frame
+*n*.  Output remains bit-identical and in order for any chunking; the
+``max_buffered_frames`` bound still governs decoded frames, with
+parse-ahead additionally bounded by the stage's out-queue.  Parse
+errors surface with the serial path's exact message — possibly on a
+later ``feed``/``frames`` call, since the parse runs asynchronously.
 """
 
 from __future__ import annotations
@@ -60,6 +69,11 @@ class StreamDecoder:
         moment it completes.  In callback mode frames are *not* also
         queued on :meth:`frames` — the callback is the consumer, so
         demand never drops and decode keeps pace with the feed.
+    pipeline:
+        ``False`` (serial, the default), ``True``/``"thread"`` (parse
+        on a worker thread), or ``"process"`` (parse in a spawned
+        child, symbols returning through shared memory).  Transport
+        and overlap only — decoded output is bit-identical.
 
     Usage::
 
@@ -77,11 +91,14 @@ class StreamDecoder:
         self,
         max_buffered_frames: int = 2,
         on_frame: Callable[[Frame], None] | None = None,
+        pipeline: bool | str = False,
     ) -> None:
         if max_buffered_frames < 1:
             raise ValueError(
                 f"max_buffered_frames must be >= 1, got {max_buffered_frames}"
             )
+        from repro.streaming.pipeline import normalize_pipeline
+
         self.max_buffered_frames = max_buffered_frames
         self._on_frame = on_frame
         self._scanner = ScanState(keep_payloads=True)
@@ -93,6 +110,14 @@ class StreamDecoder:
         #: undecoded payloads and decoded-but-undrained frames — the
         #: quantity the streaming bench bounds.
         self.peak_buffered_bytes = 0
+        self._pipeline_kind = normalize_pipeline(pipeline)
+        self._stage = None  # created on the first completed payload
+        self._stage_error: Exception | None = None
+        #: Compressed sizes of payloads submitted to the stage but not
+        #: yet collected, oldest first (the in-flight byte accounting).
+        self._in_flight_sizes: deque[int] = deque()
+        self._bytes_copied = 0
+        self._handles_passed = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -113,10 +138,12 @@ class StreamDecoder:
     @property
     def buffered_bytes(self) -> int:
         """Bytes currently buffered: scanner accumulator + pending
-        compressed payloads + decoded frames awaiting :meth:`frames`."""
+        compressed payloads (including any in flight on the parse
+        stage) + decoded frames awaiting :meth:`frames`."""
         return (
             self._scanner.buffered_bytes
             + sum(len(p) for p in self._scanner.payloads)
+            + sum(self._in_flight_sizes)
             + sum(frame_bytes(f) for f in self._ready)
         )
 
@@ -126,8 +153,23 @@ class StreamDecoder:
         zero means "drain :meth:`frames` before feeding more"."""
         if self._on_frame is not None:
             return self.max_buffered_frames
-        backlog = len(self._ready) + len(self._scanner.payloads)
+        backlog = (
+            len(self._ready) + len(self._scanner.payloads) + len(self._in_flight_sizes)
+        )
         return max(0, self.max_buffered_frames - backlog)
+
+    @property
+    def bytes_copied(self) -> int:
+        """Payload bytes that crossed a process boundary by value —
+        zero in serial and thread modes, the compressed feed in
+        process-pipeline mode (the decoded bulk returns as handles)."""
+        return self._bytes_copied
+
+    @property
+    def handles_passed(self) -> int:
+        """Shared-memory handles received from a process-mode parse
+        stage (zero when nothing crosses a process boundary)."""
+        return self._handles_passed
 
     # -- the push surface ------------------------------------------------
 
@@ -142,7 +184,11 @@ class StreamDecoder:
         """
         if self._closed:
             raise ValueError("feed() after close(): the stream was already closed")
-        self._scanner.feed(chunk)
+        try:
+            self._scanner.feed(chunk)
+        except Exception:
+            self._teardown_stage()
+            raise
         self._advance()
         self._note_peak()
         return self.demand
@@ -153,10 +199,17 @@ class StreamDecoder:
         Draining frees buffer slots, so pending compressed payloads
         decode as the iterator advances — a consumer looping over this
         after every :meth:`feed` keeps the session inside its memory
-        bound.
+        bound.  In pipelined mode the drain additionally *waits* for
+        in-flight parses when it would otherwise stall the producer
+        (demand is zero, or the stream is closed) — so the serial
+        consumer loop works unchanged and never livelocks.
         """
         while True:
             self._advance()
+            if not self._ready and self._stage is not None:
+                in_flight = len(self._in_flight_sizes)
+                if in_flight and (self._closed or self.demand == 0):
+                    self._pump_pipeline(block=True)
             if not self._ready:
                 return
             yield self._ready.popleft()
@@ -173,14 +226,25 @@ class StreamDecoder:
         """
         if self._closed:
             return
-        self._scanner.finish()
+        try:
+            self._scanner.finish()
+        except Exception:
+            self._teardown_stage()
+            raise
         self._closed = True
+        if self._pipeline_kind is not None:
+            # Submit the tail payload(s) the finish() call completed;
+            # serial mode leaves decode to frames(), as it always has.
+            self._advance()
 
     # -- internals -------------------------------------------------------
 
     def _advance(self) -> None:
         """Decode pending payloads into the ready queue up to the
         buffer bound (no bound applies in callback mode)."""
+        if self._pipeline_kind is not None:
+            self._pump_pipeline(block=False)
+            return
         payloads = self._scanner.payloads
         while payloads and (
             self._on_frame is not None or len(self._ready) < self.max_buffered_frames
@@ -197,6 +261,64 @@ class StreamDecoder:
             else:
                 self._ready.append(frame)
 
+    def _pump_pipeline(self, block: bool) -> None:
+        """Pipelined advance: submit every completed payload to the
+        parse stage, then reconstruct collected results up to the
+        buffer bound.  ``block=True`` waits for at least one in-flight
+        result (the :meth:`frames` stall-breaker)."""
+        if self._stage_error is not None:
+            raise self._stage_error
+        payloads = self._scanner.payloads
+        while payloads:
+            payload = payloads.popleft()
+            self._ensure_stage().submit(payload)
+            self._in_flight_sizes.append(len(payload))
+        stage = self._stage
+        if stage is None:
+            return
+        while self._in_flight_sizes and (
+            self._on_frame is not None or len(self._ready) < self.max_buffered_frames
+        ):
+            item = stage.poll(block=block and not self._ready)
+            if item is None:
+                break
+            tag, _seq, value = item
+            self._in_flight_sizes.popleft()
+            self._sync_stage_counters()
+            if tag == "err":
+                self._stage_error = value
+                self._teardown_stage()
+                raise value
+            frame = reconstruct_picture(value, self._reference, self._frame_index)
+            self._reference = frame
+            self._frame_index += 1
+            if self._on_frame is not None:
+                self._on_frame(frame)
+            else:
+                self._ready.append(frame)
+        if self._closed and not self._in_flight_sizes:
+            self._teardown_stage()
+
+    def _ensure_stage(self):
+        if self._stage is None:
+            from repro.streaming.pipeline import ParseStage
+
+            self._stage = ParseStage(
+                kind=self._pipeline_kind, depth=self.max_buffered_frames + 1
+            )
+        return self._stage
+
+    def _sync_stage_counters(self) -> None:
+        if self._stage is not None:
+            self._bytes_copied = self._stage.bytes_copied
+            self._handles_passed = self._stage.handles_passed
+
+    def _teardown_stage(self) -> None:
+        if self._stage is not None:
+            self._sync_stage_counters()
+            self._stage.close()
+            self._stage = None
+
     def _note_peak(self) -> None:
         self.peak_buffered_bytes = max(self.peak_buffered_bytes, self.buffered_bytes)
 
@@ -204,6 +326,7 @@ class StreamDecoder:
 def stream_decode(
     chunks,
     max_buffered_frames: int = 2,
+    pipeline: bool | str = False,
 ) -> Iterator[Frame]:
     """Decode an iterable of byte chunks, yielding frames as they
     complete — the generator face of :class:`StreamDecoder`.
@@ -218,7 +341,7 @@ def stream_decode(
     >>> all(d == r for d, r in zip(decoded, enc.reconstruction))
     True
     """
-    decoder = StreamDecoder(max_buffered_frames=max_buffered_frames)
+    decoder = StreamDecoder(max_buffered_frames=max_buffered_frames, pipeline=pipeline)
     for chunk in chunks:
         decoder.feed(chunk)
         yield from decoder.frames()

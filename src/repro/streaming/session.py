@@ -24,7 +24,14 @@ from repro.video.frame import Frame
 
 @dataclass(frozen=True)
 class SessionStats:
-    """One session's counters at a point in time."""
+    """One session's counters at a point in time.
+
+    ``bytes_copied`` and ``handles_passed`` are the transport ledger:
+    payload bytes that crossed a process boundary by value, and
+    shared-memory handles that crossed instead.  Both stay zero unless
+    the session runs a process-mode parse pipeline — in-process work
+    has no boundary to account for.
+    """
 
     frames_in: int
     frames_out: int
@@ -33,14 +40,22 @@ class SessionStats:
     buffered_bytes: int
     peak_buffered_bytes: int
     wall_s: float
+    bytes_copied: int = 0
+    handles_passed: int = 0
 
     def as_text(self) -> str:
-        return (
+        text = (
             f"frames {self.frames_in} in / {self.frames_out} out, "
             f"bytes {self.bytes_in} in / {self.bytes_out} out, "
             f"buffered {self.buffered_bytes} (peak {self.peak_buffered_bytes}), "
             f"{self.wall_s:.3f}s"
         )
+        if self.bytes_copied or self.handles_passed:
+            text += (
+                f", transport {self.bytes_copied} B copied / "
+                f"{self.handles_passed} handles"
+            )
+        return text
 
 
 class DecodeSession:
@@ -48,11 +63,17 @@ class DecodeSession:
 
     ``frames_in`` counts completed input pictures (scanner frames),
     ``frames_out`` counts frames the consumer drained, ``bytes_out``
-    counts their decoded pixel bytes.
+    counts their decoded pixel bytes.  ``pipeline`` passes through to
+    :class:`StreamDecoder` (overlapped parse/reconstruct); the stats
+    then include the decoder's transport counters.
     """
 
-    def __init__(self, max_buffered_frames: int = 2) -> None:
-        self._decoder = StreamDecoder(max_buffered_frames=max_buffered_frames)
+    def __init__(
+        self, max_buffered_frames: int = 2, pipeline: bool | str = False
+    ) -> None:
+        self._decoder = StreamDecoder(
+            max_buffered_frames=max_buffered_frames, pipeline=pipeline
+        )
         self._started = time.perf_counter()
         self._frames_out = 0
         self._bytes_out = 0
@@ -80,6 +101,8 @@ class DecodeSession:
             buffered_bytes=self._decoder.buffered_bytes,
             peak_buffered_bytes=self._decoder.peak_buffered_bytes,
             wall_s=time.perf_counter() - self._started,
+            bytes_copied=self._decoder.bytes_copied,
+            handles_passed=self._decoder.handles_passed,
         )
 
 

@@ -1,0 +1,66 @@
+"""Zero-copy shared-memory frame transport.
+
+Frame and bitstream payloads cross process boundaries as
+:class:`FrameHandle`\\ s — segment name, offset, shape, dtype — instead
+of pickled arrays:
+
+* :class:`FrameArena` — producer-owned slab segments with refcounted
+  release and context-manager teardown (no ``/dev/shm`` leaks);
+* :func:`attach_array` / :func:`read_array` — consumer side,
+  attach-on-first-use per process (spawn-safe);
+* :func:`export` / :func:`materialize` — ownership transfer for worker
+  results: one one-shot segment per value, unlinked by the receiver;
+* :func:`share` — swap a codec value's array leaves
+  (:class:`~repro.video.frame.Frame`,
+  :class:`~repro.codec.decoder.ParsedPicture`, lists/tuples) for
+  handles placed through an arena;
+* :func:`payload_bytes` / :func:`handle_count` — the accounting the
+  transport benchmark and session stats report.
+
+``repro.parallel.run_jobs(..., use_shm=True)`` and the process-mode
+pipelined :class:`repro.streaming.StreamDecoder` are the two consumers;
+``use_shm=False`` everywhere falls back to the byte-identical pickling
+path.
+"""
+
+from repro.transport.arena import (
+    ATTACH_CACHE_SEGMENTS,
+    FrameArena,
+    FrameHandle,
+    attach_array,
+    detach_all,
+    detach_segment,
+    export_segment,
+    read_array,
+    unlink_segment,
+)
+from repro.transport.share import (
+    SharedFrame,
+    SharedParsedPicture,
+    export,
+    handle_count,
+    iter_arrays,
+    materialize,
+    payload_bytes,
+    share,
+)
+
+__all__ = [
+    "ATTACH_CACHE_SEGMENTS",
+    "FrameArena",
+    "FrameHandle",
+    "SharedFrame",
+    "SharedParsedPicture",
+    "attach_array",
+    "detach_all",
+    "detach_segment",
+    "export",
+    "export_segment",
+    "handle_count",
+    "iter_arrays",
+    "materialize",
+    "payload_bytes",
+    "read_array",
+    "share",
+    "unlink_segment",
+]

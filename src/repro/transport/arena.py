@@ -1,0 +1,371 @@
+"""Shared-memory frame arena: payloads cross process boundaries as handles.
+
+The parallel layer (PR 3) moves whole frame and bitstream payloads
+through the spawn pool by *pickling* them — every byte is serialized in
+the parent, shipped over a pipe, and deserialized in the worker, and
+results make the same trip back.  This module provides the zero-copy
+alternative: payload arrays live in ``multiprocessing.shared_memory``
+blocks, and what actually crosses the pickle boundary is a
+:class:`FrameHandle` — segment name, byte offset, shape, dtype — a few
+hundred bytes regardless of payload size.
+
+Three roles, three surfaces:
+
+* **Producer-owned lifetime** — :class:`FrameArena` places arrays into
+  slab segments it owns (bump allocation, 64-byte aligned) and hands
+  out handles.  Lifetime is explicit: :meth:`FrameArena.release`
+  decrements a per-segment refcount (a sealed segment is destroyed when
+  its last handle is released), and the arena is a context manager
+  whose exit force-unlinks every segment it ever created — no
+  ``/dev/shm`` entry survives a ``with`` block.
+* **Consumer attach** — :func:`attach_array` maps a handle to a NumPy
+  view over the segment, attaching each segment **on first use** and
+  caching the mapping per process (spawned workers import this module
+  fresh, so their first handle triggers the attach).  Views are valid
+  until the segment is evicted from the bounded cache or detached;
+  :func:`read_array` returns an owned copy with no lifetime string
+  attached.
+* **Ownership transfer** — :func:`export_segment` creates a one-shot
+  segment for result payloads in a *worker*, which then closes its own
+  mapping and forgets it; the receiving process reads the arrays and
+  calls :func:`unlink_segment` to destroy it.  This is how job results
+  travel parent-ward without a parent-side arena having to exist in
+  the worker.
+
+Resource-tracker hygiene: every process that creates *or* attaches a
+segment registers it with the (shared, spawn-inherited) resource
+tracker, whose registry is a name set — so the protocol "exactly one
+process unlinks, and nobody attaches after the unlink" leaves the
+tracker clean and warning-free at exit.  Both the arena and the
+transfer protocol follow it.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass
+from math import prod
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Byte alignment of every placed array (cache-line sized, and enough
+#: for any NumPy dtype).
+ALIGNMENT = 64
+
+#: Default slab size for arena allocations.  One QCIF frame's three
+#: planes are ~38 KB, so the default slab holds a couple dozen frames.
+DEFAULT_SLAB_BYTES = 1 << 20
+
+#: Most segments a process keeps attached at once; least-recently-used
+#: mappings beyond this are closed (their views die with them).
+ATTACH_CACHE_SEGMENTS = 32
+
+
+def _new_segment_name(prefix: str) -> str:
+    return f"{prefix}-{secrets.token_hex(8)}"
+
+
+@dataclass(frozen=True)
+class FrameHandle:
+    """A picklable reference to one array inside a shared segment.
+
+    This is the only thing that crosses the process boundary: ~200
+    pickled bytes whether it names a 16-byte motion row or a CIF frame.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the referenced array."""
+        return prod(self.shape, start=1) * np.dtype(self.dtype).itemsize
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+# -- consumer side: attach-on-first-use ----------------------------------
+
+#: Process-local cache of attached segments (LRU, bounded).  Spawned
+#: workers start empty and fill it as handles arrive.
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+
+def _attached_segment(name: str) -> shared_memory.SharedMemory:
+    seg = _ATTACHED.get(name)
+    if seg is not None:
+        _ATTACHED.move_to_end(name)
+        return seg
+    seg = shared_memory.SharedMemory(name=name)
+    _ATTACHED[name] = seg
+    while len(_ATTACHED) > ATTACH_CACHE_SEGMENTS:
+        _, old = _ATTACHED.popitem(last=False)
+        try:
+            old.close()
+        except BufferError:  # pragma: no cover - caller still holds views
+            _ATTACHED[old.name] = old
+            _ATTACHED.move_to_end(old.name, last=False)
+            break
+    return seg
+
+
+def attach_array(handle: FrameHandle) -> np.ndarray:
+    """A NumPy view of the handle's array, attaching the segment on
+    first use in this process.
+
+    The view aliases shared memory: it stays valid only while the
+    segment remains attached (and not yet unlinked by its owner), so
+    treat it as a short-lived read window — take :func:`read_array`
+    for anything longer-lived.
+    """
+    seg = _attached_segment(handle.segment)
+    return np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf, offset=handle.offset
+    )
+
+
+def read_array(handle: FrameHandle) -> np.ndarray:
+    """An owned copy of the handle's array (no shared-memory lifetime)."""
+    return np.array(attach_array(handle))
+
+
+def detach_segment(name: str) -> None:
+    """Drop this process's cached mapping of ``name`` (no-op when not
+    attached).  Any views over it must be dead."""
+    seg = _ATTACHED.pop(name, None)
+    if seg is not None:
+        seg.close()
+
+
+def detach_all() -> None:
+    """Close every cached mapping (hermetic tests / worker teardown)."""
+    for name in list(_ATTACHED):
+        detach_segment(name)
+
+
+# -- ownership transfer: worker-created result segments ------------------
+
+
+def export_segment(
+    arrays: "list[np.ndarray]", name_prefix: str = "repro-tx"
+) -> list[FrameHandle]:
+    """Copy ``arrays`` into one fresh segment and hand its ownership to
+    whoever receives the returned handles.
+
+    The calling process closes its own mapping before returning and
+    keeps no record of the segment — the receiver must call
+    :func:`unlink_segment` (directly or via
+    :func:`repro.transport.share.materialize`) once it has read the
+    payloads, or the segment outlives both processes.
+    """
+    if not arrays:
+        return []
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    total = 0
+    offsets = []
+    for arr in arrays:
+        total = _aligned(total)
+        offsets.append(total)
+        total += arr.nbytes
+    seg = shared_memory.SharedMemory(
+        create=True, size=max(total, 1), name=_new_segment_name(name_prefix)
+    )
+    try:
+        handles = []
+        for arr, offset in zip(arrays, offsets):
+            if arr.nbytes:
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=offset)
+                view[...] = arr
+                del view
+            handles.append(
+                FrameHandle(
+                    segment=seg.name,
+                    offset=offset,
+                    shape=tuple(arr.shape),
+                    dtype=arr.dtype.str,
+                )
+            )
+    except BaseException:
+        seg.close()
+        seg.unlink()
+        raise
+    seg.close()
+    return handles
+
+
+def unlink_segment(name: str) -> None:
+    """Destroy a transferred segment after reading it: detach the local
+    cache entry and unlink the ``/dev/shm`` name.  Unlinking an
+    already-destroyed segment is a no-op (a double release must not
+    mask the first one's success)."""
+    seg = _ATTACHED.pop(name, None)
+    try:
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:
+        pass
+
+
+# -- producer side: the arena --------------------------------------------
+
+
+class _Slab:
+    """One shared segment under bump allocation."""
+
+    __slots__ = ("shm", "used", "refs", "sealed")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.used = 0
+        self.refs = 0
+        self.sealed = False
+
+
+class FrameArena:
+    """Bump-allocating shared-memory arena with refcounted release.
+
+    Parameters
+    ----------
+    slab_bytes:
+        Segment granularity.  Arrays larger than this get a dedicated
+        segment of their own size.
+    name_prefix:
+        Segment name prefix (``/dev/shm/<prefix>-<hex>`` on Linux) —
+        tests sweep by prefix to assert nothing leaked.
+
+    Usage::
+
+        with FrameArena() as arena:
+            handle = arena.place(frame.y)
+            ...                      # ship the handle, not the pixels
+            arena.release(handle)    # refcounted; optional before exit
+        # every segment unlinked here, whatever was released
+
+    The arena object itself must never cross a process boundary — only
+    handles do (workers attach on first use).  ``place`` after ``close``
+    raises; ``close`` is idempotent.
+    """
+
+    def __init__(
+        self, slab_bytes: int = DEFAULT_SLAB_BYTES, name_prefix: str = "repro-arena"
+    ) -> None:
+        if slab_bytes < 1:
+            raise ValueError(f"slab_bytes must be >= 1, got {slab_bytes}")
+        self._slab_bytes = slab_bytes
+        self._prefix = name_prefix
+        self._slabs: dict[str, _Slab] = {}
+        self._active: _Slab | None = None
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def open_segments(self) -> int:
+        """Segments currently alive (the leak-check quantity)."""
+        return len(self._slabs)
+
+    @property
+    def outstanding_handles(self) -> int:
+        return sum(slab.refs for slab in self._slabs.values())
+
+    # -- allocation ------------------------------------------------------
+
+    def place(self, array: np.ndarray | bytes) -> FrameHandle:
+        """Copy ``array`` into shared memory; returns its handle.
+
+        ``bytes`` payloads are placed as 1-D ``uint8`` arrays.  The
+        copy is the *last* copy: every consumer in every process reads
+        the same physical pages through the handle.
+        """
+        if self._closed:
+            raise ValueError("place() after close(): the arena was already torn down")
+        if isinstance(array, (bytes, bytearray, memoryview)):
+            array = np.frombuffer(array, dtype=np.uint8)
+        array = np.ascontiguousarray(array)
+        slab = self._slab_with_room(array.nbytes)
+        offset = _aligned(slab.used)
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=slab.shm.buf, offset=offset)
+            view[...] = array
+            del view
+        slab.used = offset + array.nbytes
+        slab.refs += 1
+        return FrameHandle(
+            segment=slab.shm.name,
+            offset=offset,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+        )
+
+    def _slab_with_room(self, nbytes: int) -> _Slab:
+        active = self._active
+        if active is not None:
+            if _aligned(active.used) + nbytes <= active.shm.size:
+                return active
+            self._seal(active)
+        size = max(self._slab_bytes, nbytes, 1)
+        shm = shared_memory.SharedMemory(
+            create=True, size=size, name=_new_segment_name(self._prefix)
+        )
+        slab = _Slab(shm)
+        self._slabs[shm.name] = slab
+        self._active = slab
+        return slab
+
+    def _seal(self, slab: _Slab) -> None:
+        slab.sealed = True
+        if self._active is slab:
+            self._active = None
+        if slab.refs == 0:
+            self._destroy(slab)
+
+    # -- lifetime --------------------------------------------------------
+
+    def release(self, handle: FrameHandle) -> None:
+        """Release one handle.  When a sealed segment's last handle is
+        released the segment is destroyed immediately; the segment still
+        open for allocation lives until it seals or the arena closes."""
+        slab = self._slabs.get(handle.segment)
+        if slab is None:
+            raise ValueError(
+                f"release of unknown handle: segment {handle.segment!r} is not "
+                "(or no longer) owned by this arena"
+            )
+        if slab.refs <= 0:
+            raise ValueError(f"segment {handle.segment!r} released more times than placed")
+        slab.refs -= 1
+        if slab.refs == 0 and slab.sealed:
+            self._destroy(slab)
+
+    def _destroy(self, slab: _Slab) -> None:
+        del self._slabs[slab.shm.name]
+        if self._active is slab:
+            self._active = None
+        detach_segment(slab.shm.name)  # a same-process consumer may hold a mapping
+        slab.shm.close()
+        slab.shm.unlink()
+
+    def close(self) -> None:
+        """Unlink every segment, released or not.  Idempotent.  Handles
+        already shipped become dangling — close only after every
+        consumer is done (for pool runs: after ``run_jobs`` returns)."""
+        if self._closed:
+            return
+        self._closed = True
+        for slab in list(self._slabs.values()):
+            self._destroy(slab)
+        self._active = None
+
+    def __enter__(self) -> "FrameArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -61,6 +61,14 @@ def test_streaming(tmp_path):
     assert "peak buffered" in proc.stdout
 
 
+def test_transport(tmp_path):
+    proc = run_example("transport.py", "--frames", "3", "--chunk-size", "256")
+    assert proc.returncode == 0, proc.stderr
+    assert "results identical: True" in proc.stdout
+    assert "bit-identical to whole-buffer decode: True" in proc.stdout
+    assert "/dev/shm leftovers: none" in proc.stdout
+
+
 def test_custom_sequence(tmp_path):
     proc = run_example(
         "custom_sequence.py", "--outdir", str(tmp_path), "--frames", "4", "--qp", "20"

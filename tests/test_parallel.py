@@ -9,12 +9,14 @@ Process-spawning tests are deliberately few and tiny (each worker pays
 a spawn + import); the cheap determinism properties run in-process.
 """
 
+import glob
 from dataclasses import dataclass
 
 import numpy as np
 import pytest
 
-from repro.codec.encoder import Encoder
+from repro.codec.decoder import FrameIndex
+from repro.codec.encoder import Encoder, encode_sequence
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig4_characterization import run_fig4
 from repro.experiments.rd_curves import (
@@ -29,6 +31,7 @@ from repro.parallel import (
     EncodeJob,
     Fig4PairJob,
     JobSpec,
+    ParseFrameJob,
     SweepJob,
     derive_job_seeds,
     run_jobs,
@@ -145,6 +148,81 @@ class TestPoolMechanics:
 
         with pytest.raises(RuntimeError, match="kaboom"):
             run_jobs([BoomJob()], workers=1)
+
+
+@dataclass(frozen=True)
+class FailJob(JobSpec):
+    """Module-level (spawn-picklable) job that always raises."""
+
+    def describe(self) -> str:
+        return "fail"
+
+    def run(self, rng=None):
+        raise ValueError("injected failure")
+
+
+class TestSharedMemoryTransport:
+    """``use_shm=True`` moves payloads and results as shared-memory
+    handles; everything observable — results, ordering, progress,
+    errors — matches the pickling path, and ``/dev/shm`` ends clean."""
+
+    @pytest.fixture(scope="class")
+    def v2(self):
+        clip = make_sequence("miss_america", frames=3, seed=0)
+        return encode_sequence(clip, qp=20, estimator="tss", bitstream_version=2)
+
+    @staticmethod
+    def shm_leftovers() -> list[str]:
+        return sorted(
+            glob.glob("/dev/shm/repro-jobs*") + glob.glob("/dev/shm/repro-result*")
+        )
+
+    def test_shm_results_byte_identical_and_leak_free(self, v2):
+        """Parse jobs and a decode job — payload handles down, result
+        exports back — against spawned workers, compared to the
+        in-process serial reference."""
+        index = FrameIndex.scan(v2.bitstream)
+        jobs = [
+            ParseFrameJob(index.payload(v2.bitstream, i)) for i in range(len(index))
+        ] + [DecodeJob(v2.bitstream)]
+        serial = run_jobs(jobs, workers=1)
+        shm = run_jobs(jobs, workers=2, use_shm=True)
+        assert shm == serial
+        assert not self.shm_leftovers()
+
+    def test_use_shm_in_process_is_a_noop(self, v2):
+        """workers=1 has no boundary to cross: the flag is ignored and
+        no segment is ever created."""
+        jobs = [SquareJob(3), DecodeJob(v2.bitstream)]
+        assert run_jobs(jobs, workers=1, use_shm=True) == run_jobs(jobs, workers=1)
+        assert not self.shm_leftovers()
+
+    def test_pack_shm_defaults_to_identity(self):
+        """Specs without array payloads ride the pickle stream unchanged
+        (pack_shm is the base-class identity)."""
+        job = SquareJob(5)
+        assert job.pack_shm(place=None) is job
+
+    def test_progress_fires_per_completed_job_despite_chunking(self):
+        """The ProgressFn guarantee: exactly one call per job as it
+        completes — supplying a callback forces per-job dispatch, so
+        chunk_size cannot batch the reporting."""
+        jobs = [SquareJob(v) for v in range(5)]
+        messages = []
+        results = run_jobs(jobs, workers=2, chunk_size=3, progress=messages.append)
+        assert results == [0, 1, 4, 9, 16]
+        assert sorted(messages) == sorted(job.describe() for job in jobs)
+
+    def test_shm_failure_path_leaves_dev_shm_clean(self, v2):
+        """A failing job mid-run must not orphan input slabs or result
+        exports from jobs that already completed."""
+        index = FrameIndex.scan(v2.bitstream)
+        jobs = [
+            ParseFrameJob(index.payload(v2.bitstream, i)) for i in range(len(index))
+        ] + [FailJob()]
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_jobs(jobs, workers=2, use_shm=True)
+        assert not self.shm_leftovers()
 
 
 class TestJobSpecs:

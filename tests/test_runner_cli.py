@@ -64,6 +64,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["stream-encode", "--from-yuv", "c.yuv", "--geometry", "65x48"])
 
+    def test_transport_and_shm_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["transport-bench", "--frames", "4"])
+        assert args.command == "transport-bench"
+        assert args.rounds == 3 and args.estimator == "tss"
+        args = parser.parse_args(
+            ["decode-bench", "--bitstream-version", "2", "--jobs", "2", "--shm"]
+        )
+        assert args.shm is True
+        args = parser.parse_args(["stream-decode", "s.v2", "--pipeline", "process"])
+        assert args.pipeline == "process"
+        assert parser.parse_args(["stream-decode", "s.v2"]).pipeline == "off"
+        assert parser.parse_args(["stream-bench"]).pipeline == "thread"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream-decode", "s.v2", "--pipeline", "fork"])
+
     def test_stream_encode_requires_input(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stream-encode"])
@@ -227,8 +243,47 @@ class TestMain:
             "stream_whole_decode_ms", "stream_push_decode_ms",
             "stream_vs_whole_speedup", "stream_decode_mbps",
             "stream_peak_buffered_bytes", "stream_buffer_bound_bytes",
+            "stream_pipeline_decode_ms", "stream_pipeline_speedup",
+            "stream_pipeline_peak_buffered_bytes",
+            "stream_bytes_copied", "stream_handles_passed",
+            "machine_cpu_count",
         }
         assert records["stream_peak_buffered_bytes"] < records["stream_buffer_bound_bytes"]
+        assert records["stream_pipeline_decode_ms"] > 0
+
+    def test_decode_bench_shm_requires_a_parallel_transport(self, capsys):
+        """--shm changes how payloads cross the worker pipe; without a
+        parallel path (v2 or --jobs >= 2) there is nothing to smoke."""
+        assert main(["decode-bench", "--shm"]) == 2
+        assert "--shm" in capsys.readouterr().err
+
+    def test_transport_bench_small_run(self, capsys, tmp_path):
+        """The zero-copy claims in miniature: spec/result pickles shrink
+        to handles, the 2-worker shm decode is bit-identical, and the
+        run leaves /dev/shm clean."""
+        import json
+
+        out_path = tmp_path / "BENCH_transport.json"
+        argv = [
+            "transport-bench", "--frames", "2", "--sequences", "miss_america",
+            "--qps", "20", "--rounds", "1", "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out and "True" in out
+        records = json.loads(out_path.read_text())
+        assert set(records) == {
+            "transport_spec_pickle_bytes_plain", "transport_spec_pickle_bytes_shm",
+            "transport_payload_bytes_per_frame_plain",
+            "transport_payload_bytes_per_frame_shm",
+            "transport_result_pickle_bytes_plain", "transport_result_pickle_bytes_shm",
+            "transport_decode_plain_ms", "transport_decode_shm_ms",
+            "transport_shm_speedup", "machine_cpu_count",
+        }
+        assert records["transport_payload_bytes_per_frame_shm"] == 0.0
+        assert records["transport_spec_pickle_bytes_shm"] < records[
+            "transport_spec_pickle_bytes_plain"
+        ]
 
     def test_decode_bench_v2(self, capsys, tmp_path):
         """--bitstream-version 2 verifies the frame index and the

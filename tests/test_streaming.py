@@ -12,6 +12,9 @@ The two contracts everything else hangs off:
   the whole-sequence :class:`Encoder`, in both wire formats.
 """
 
+import glob
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -22,11 +25,13 @@ from repro.codec.encoder import FRAME_START_CODE, encode_sequence
 from repro.streaming import (
     DecodeSession,
     EncodeSession,
+    ParseStage,
     ScanState,
     StreamDecoder,
     StreamEncoder,
     stream_decode,
 )
+from repro.streaming.pipeline import normalize_pipeline, parse_payload
 from repro.video.frame import Frame, FrameGeometry
 from repro.video.sequence import Sequence
 from repro.video.yuv_io import iter_yuv_frames, read_yuv, write_yuv
@@ -313,6 +318,185 @@ class TestStreamDecoder:
             StreamDecoder(max_buffered_frames=0)
 
 
+# -- pipelined decode ------------------------------------------------------
+
+
+def shm_pipe_segments() -> list[str]:
+    """Shared segments the process-mode parse stage may have leaked."""
+    return sorted(glob.glob("/dev/shm/repro-pipe*"))
+
+
+@pytest.fixture(scope="module")
+def payloads(v2):
+    index = FrameIndex.scan(v2.bitstream)
+    return [index.payload(v2.bitstream, i) for i in range(len(index))]
+
+
+@pytest.fixture(scope="module")
+def corrupt_stream(v2):
+    """``v2`` with one payload byte flipped so the serial decode raises
+    — found by scanning offsets, since a flip can land in dead padding
+    and decode cleanly."""
+    start, end = FrameIndex.scan(v2.bitstream).ranges[-1]
+    for offset in range(start + 4, end, 3):
+        corrupt = bytearray(v2.bitstream)
+        corrupt[offset] ^= 0xFF
+        corrupt = bytes(corrupt)
+        try:
+            list(stream_decode([corrupt]))
+        except Exception as exc:  # noqa: BLE001 - parity is about *any* error
+            return corrupt, exc
+    pytest.fail("no corrupting offset found in the last payload")
+
+
+class TestParseStage:
+    def test_normalize_pipeline(self):
+        assert normalize_pipeline(False) is None
+        assert normalize_pipeline(None) is None
+        assert normalize_pipeline(True) == "thread"
+        assert normalize_pipeline("thread") == "thread"
+        assert normalize_pipeline("process") == "process"
+        with pytest.raises(ValueError, match="pipeline"):
+            normalize_pipeline("fork")
+
+    def test_kind_and_depth_validated(self):
+        with pytest.raises(ValueError, match="kind"):
+            ParseStage(kind="fork")
+        with pytest.raises(ValueError, match="depth"):
+            ParseStage(depth=0)
+
+    def test_thread_stage_results_in_order_nothing_copied(self, payloads):
+        stage = ParseStage(kind="thread", depth=len(payloads))
+        try:
+            for payload in payloads:
+                stage.submit(payload)
+            results = [stage.poll(block=True) for _ in payloads]
+        finally:
+            stage.close()
+        assert [seq for _tag, seq, _v in results] == list(range(len(payloads)))
+        assert all(tag == "ok" for tag, _seq, _v in results)
+        assert [v for _tag, _seq, v in results] == [parse_payload(p) for p in payloads]
+        assert stage.bytes_copied == 0 and stage.handles_passed == 0
+
+    def test_process_stage_ships_handles_and_cleans_up(self, payloads):
+        stage = ParseStage(kind="process", depth=len(payloads))
+        try:
+            for payload in payloads:
+                stage.submit(payload)
+            results = [stage.poll(block=True) for _ in payloads]
+        finally:
+            stage.close()
+        assert [v for _tag, _seq, v in results] == [parse_payload(p) for p in payloads]
+        # Only the compressed feed crossed by value; the parsed arrays
+        # came back as shared-memory handles, >= 1 per picture.
+        assert stage.bytes_copied == sum(len(p) for p in payloads)
+        assert stage.handles_passed >= len(payloads)
+        assert not shm_pipe_segments()
+
+    def test_close_discards_in_flight_without_leaks(self, payloads):
+        stage = ParseStage(kind="process", depth=2)
+        for payload in payloads:
+            stage.submit(payload)
+        stage.close()  # results never collected — discarded and unlinked
+        stage.close()  # idempotent
+        assert not shm_pipe_segments()
+        with pytest.raises(ValueError, match="closed"):
+            stage.submit(b"")
+
+
+class TestPipelinedDecoder:
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10**6])
+    def test_thread_chunkings_bit_identical(self, v2, whole, chunk):
+        """Any chunking — including 1-byte feeds — through the
+        thread-pipelined session decodes bit-identically to serial."""
+        chunks = [v2.bitstream[i : i + chunk] for i in range(0, len(v2.bitstream), chunk)]
+        assert_frames_equal(list(stream_decode(chunks, pipeline="thread")), whole)
+
+    def test_process_mode_bit_identical_and_leak_free(self, v2, whole):
+        chunks = [v2.bitstream[i : i + 7] for i in range(0, len(v2.bitstream), 7)]
+        assert_frames_equal(list(stream_decode(chunks, pipeline="process")), whole)
+        assert not shm_pipe_segments()
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_chunkings_bit_identical(self, v2, whole, data):
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(v2.bitstream)), min_size=0, max_size=40),
+                label="cuts",
+            )
+        )
+        points = [0, *cuts, len(v2.bitstream)]
+        chunks = [v2.bitstream[a:b] for a, b in zip(points, points[1:])]
+        assert_frames_equal(list(stream_decode(chunks, pipeline=True)), whole)
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_error_parity_mid_pipeline(self, corrupt_stream, kind):
+        """A corrupt payload fed mid-stream raises the serial path's
+        exact error — same type, same message — from the pipelined
+        session, and tears the stage down without leaking."""
+        corrupt, serial_exc = corrupt_stream
+        decoder = StreamDecoder(max_buffered_frames=10, pipeline=kind)
+        with pytest.raises(type(serial_exc)) as err:
+            for i in range(0, len(corrupt), 11):
+                decoder.feed(corrupt[i : i + 11])
+                list(decoder.frames())
+            decoder.close()
+            list(decoder.frames())
+        assert str(err.value) == str(serial_exc)
+        assert not shm_pipe_segments()
+
+    def test_backpressure_bound_holds(self, v2, whole):
+        """A demand-honoring producer never sees more decoded frames
+        buffered than ``max_buffered_frames``, pipeline or not."""
+        decoder = StreamDecoder(max_buffered_frames=1, pipeline="thread")
+        out = []
+        pos = 0
+        while pos < len(v2.bitstream):
+            if decoder.demand > 0:
+                decoder.feed(v2.bitstream[pos : pos + 64])
+                pos += 64
+            else:
+                out.extend(decoder.frames())
+            assert decoder.frames_decoded - len(out) <= decoder.max_buffered_frames
+        decoder.close()
+        out.extend(decoder.frames())
+        assert_frames_equal(out, whole)
+
+    def test_callback_mode_pipelined(self, v2, whole):
+        got = []
+        decoder = StreamDecoder(on_frame=got.append, pipeline="thread")
+        for i in range(0, len(v2.bitstream), 11):
+            decoder.feed(v2.bitstream[i : i + 11])
+        decoder.close()
+        assert list(decoder.frames()) == []  # the callback consumed everything
+        assert_frames_equal(got, whole)
+
+    def test_truncated_tail_raises_on_close(self, v2):
+        """Complete frames decode despite a truncated tail, and close()
+        raises the scanner's overrun error.  The pipelined drain is
+        asynchronous while demand remains (frames() only *waits* when
+        it would otherwise stall the producer), so poll until the
+        in-flight parses land."""
+        index = FrameIndex.scan(v2.bitstream)
+        cut = index.ranges[-1][1] - 3
+        decoder = StreamDecoder(max_buffered_frames=len(index), pipeline="thread")
+        decoder.feed(v2.bitstream[:cut])
+        got = []
+        for _ in range(10_000):
+            got.extend(decoder.frames())
+            if len(got) == len(index) - 1:
+                break
+            time.sleep(0.001)
+        assert len(got) == len(index) - 1
+        with pytest.raises(ValueError, match="overruns"):
+            decoder.close()
+
+    def test_invalid_pipeline_flag_rejected(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            StreamDecoder(pipeline="fork")
+
+
 # -- iterator encoder ------------------------------------------------------
 
 
@@ -393,6 +577,41 @@ class TestSessions:
         assert 0 < stats.peak_buffered_bytes <= 2 * raw_frame + len(v2.bitstream)
         assert stats.wall_s > 0
         assert "frames" in stats.as_text()
+
+    @pytest.mark.parametrize("pipeline", [False, "thread"])
+    def test_decode_session_in_process_modes_copy_nothing(self, v2, whole, pipeline):
+        """Serial and thread-pipelined sessions move every payload by
+        reference: the transport ledger stays at zero and stays out of
+        the stats text."""
+        session = DecodeSession(max_buffered_frames=4, pipeline=pipeline)
+        out = []
+        session.feed(v2.bitstream)
+        out.extend(session.frames())
+        session.close()
+        out.extend(session.frames())
+        assert_frames_equal(out, whole)
+        stats = session.stats()
+        assert stats.bytes_copied == 0 and stats.handles_passed == 0
+        assert "transport" not in stats.as_text()
+
+    def test_decode_session_process_mode_ledger(self, v2, whole):
+        """Process mode copies exactly the compressed payload bytes down
+        and brings the parsed bulk back as handles — what the stats
+        surface (and ``stream-bench --json``) report."""
+        index = FrameIndex.scan(v2.bitstream)
+        compressed = sum(len(index.payload(v2.bitstream, i)) for i in range(len(index)))
+        session = DecodeSession(max_buffered_frames=len(index), pipeline="process")
+        out = []
+        session.feed(v2.bitstream)
+        out.extend(session.frames())
+        session.close()
+        out.extend(session.frames())
+        assert_frames_equal(out, whole)
+        stats = session.stats()
+        assert stats.bytes_copied == compressed
+        assert stats.handles_passed >= len(whole)
+        assert "transport" in stats.as_text()
+        assert not shm_pipe_segments()
 
     def test_encode_session_stats(self, clip, v2):
         session = EncodeSession(estimator="tss", qp=18, bitstream_version=2)

@@ -1,0 +1,285 @@
+"""Golden tests for the shared-memory transport layer (:mod:`repro.transport`).
+
+The contracts under test:
+
+* **arena lifetime** — :class:`FrameArena` hands out handles whose
+  segments live exactly as long as the refcounts (sealed slabs) or the
+  arena (open slabs) say, ``close()`` is idempotent and total, and no
+  ``/dev/shm`` entry survives a ``with`` block — whatever was or
+  wasn't released;
+* **ownership transfer** — :func:`export` / :func:`materialize` move a
+  value through one one-shot segment and leave ``/dev/shm`` clean;
+* **typed sharing** — ``Frame`` and ``ParsedPicture`` survive the
+  handle round trip bit-identically, scalar skeletons pass through
+  untouched, and the accounting (:func:`payload_bytes`,
+  :func:`handle_count`) matches what actually moved.
+
+Spawn-side attach-on-first-use is exercised end to end by the
+``use_shm`` pool tests in ``tests/test_parallel.py`` — these tests stay
+in-process.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.codec.decoder import FrameIndex
+from repro.codec.encoder import encode_sequence
+from repro.streaming.pipeline import parse_payload
+from repro.transport import (
+    FrameArena,
+    FrameHandle,
+    attach_array,
+    detach_segment,
+    export,
+    export_segment,
+    handle_count,
+    materialize,
+    payload_bytes,
+    read_array,
+    share,
+    unlink_segment,
+)
+from repro.video.frame import Frame, FrameGeometry
+from repro.video.sequence import Sequence
+
+SMALL = FrameGeometry(32, 32)
+
+
+def shm_entries(prefix: str) -> list[str]:
+    """Live ``/dev/shm`` segments under ``prefix`` (the leak sweep)."""
+    return sorted(glob.glob(f"/dev/shm/{prefix}*"))
+
+
+def random_frame(seed=0, geometry=SMALL, index=0) -> Frame:
+    rng = np.random.default_rng(seed)
+    ch, cw = geometry.chroma_height, geometry.chroma_width
+    return Frame(
+        rng.integers(0, 256, (geometry.height, geometry.width), dtype=np.uint8),
+        rng.integers(0, 256, (ch, cw), dtype=np.uint8),
+        rng.integers(0, 256, (ch, cw), dtype=np.uint8),
+        index=index,
+    )
+
+
+@pytest.fixture(scope="module")
+def parsed_pictures():
+    """One intra and one inter ParsedPicture off a real v2 stream."""
+    clip = Sequence([random_frame(seed=i, index=i) for i in range(3)], fps=30, name="tx")
+    encode = encode_sequence(clip, qp=18, estimator="tss", bitstream_version=2)
+    index = FrameIndex.scan(encode.bitstream)
+    return [parse_payload(index.payload(encode.bitstream, i)) for i in range(len(index))]
+
+
+# -- handles ---------------------------------------------------------------
+
+
+class TestFrameHandle:
+    def test_nbytes(self):
+        assert FrameHandle("seg", 0, (4, 5), "<i2").nbytes == 40
+        assert FrameHandle("seg", 64, (), "<f8").nbytes == 8
+        assert FrameHandle("seg", 0, (0, 3), "|u1").nbytes == 0
+
+    def test_pickle_is_small_and_payload_independent(self):
+        import pickle
+
+        tiny = FrameHandle("repro-x", 0, (2, 2), "|u1")
+        huge = FrameHandle("repro-x", 0, (4096, 4096), "<f8")
+        # A few bytes of integer-width variance, never payload bytes.
+        assert len(pickle.dumps(huge)) <= len(pickle.dumps(tiny)) + 8
+        assert len(pickle.dumps(huge)) < 200
+
+
+# -- the arena -------------------------------------------------------------
+
+
+class TestFrameArena:
+    def test_place_and_read_round_trip(self):
+        arr = np.arange(24, dtype=np.int16).reshape(4, 6)
+        with FrameArena(name_prefix="repro-t-rt") as arena:
+            handle = arena.place(arr)
+            out = read_array(handle)
+            assert out.dtype == arr.dtype and out.shape == arr.shape
+            np.testing.assert_array_equal(out, arr)
+        assert not shm_entries("repro-t-rt")
+
+    def test_bytes_place_as_uint8(self):
+        with FrameArena(name_prefix="repro-t-bytes") as arena:
+            handle = arena.place(b"\x00\x01\xfe\xff")
+            assert handle.shape == (4,) and np.dtype(handle.dtype) == np.uint8
+            assert read_array(handle).tobytes() == b"\x00\x01\xfe\xff"
+
+    def test_placements_are_aligned(self):
+        with FrameArena(name_prefix="repro-t-align") as arena:
+            offsets = [arena.place(np.zeros(13, dtype=np.uint8)).offset for _ in range(5)]
+        assert all(offset % 64 == 0 for offset in offsets)
+        assert len(set(offsets)) == 5  # bump allocation, no overlap
+
+    def test_oversized_array_gets_dedicated_segment(self):
+        big = np.arange(4096, dtype=np.uint8)
+        with FrameArena(slab_bytes=1024, name_prefix="repro-t-big") as arena:
+            small = arena.place(np.zeros(8, dtype=np.uint8))
+            handle = arena.place(big)
+            assert handle.segment != small.segment
+            np.testing.assert_array_equal(read_array(handle), big)
+        assert not shm_entries("repro-t-big")
+
+    def test_release_refcounts_sealed_segments(self):
+        """Filling a slab seals it; the sealed slab dies with its last
+        handle while the still-open slab lives until close()."""
+        with FrameArena(slab_bytes=256, name_prefix="repro-t-refs") as arena:
+            first = arena.place(np.zeros(200, dtype=np.uint8))
+            second = arena.place(np.zeros(200, dtype=np.uint8))  # seals slab 1
+            assert arena.open_segments == 2
+            assert arena.outstanding_handles == 2
+            arena.release(first)  # sealed slab, last ref → destroyed now
+            assert arena.open_segments == 1
+            assert not glob.glob(f"/dev/shm/{first.segment}")
+            arena.release(second)  # open slab → survives for allocation
+            assert arena.open_segments == 1
+            assert arena.outstanding_handles == 0
+        assert not shm_entries("repro-t-refs")
+
+    def test_over_release_raises(self):
+        with FrameArena(name_prefix="repro-t-over") as arena:
+            handle = arena.place(np.zeros(4, dtype=np.uint8))
+            arena.release(handle)
+            with pytest.raises(ValueError, match="more times than placed"):
+                arena.release(handle)
+
+    def test_release_of_foreign_handle_raises(self):
+        with FrameArena(name_prefix="repro-t-foreign") as arena:
+            with pytest.raises(ValueError, match="not .*owned by this arena"):
+                arena.release(FrameHandle("repro-nowhere-0", 0, (1,), "|u1"))
+
+    def test_close_idempotent_and_place_after_close_raises(self):
+        arena = FrameArena(name_prefix="repro-t-closed")
+        arena.place(np.zeros(4, dtype=np.uint8))
+        arena.close()
+        arena.close()  # no-op, no raise
+        assert arena.open_segments == 0
+        assert not shm_entries("repro-t-closed")
+        with pytest.raises(ValueError, match="close"):
+            arena.place(np.zeros(4, dtype=np.uint8))
+
+    def test_close_unlinks_unreleased_segments(self):
+        """The teardown guarantee: handles never released still die
+        with the arena — nothing leaks from an abandoned run."""
+        arena = FrameArena(slab_bytes=128, name_prefix="repro-t-abandon")
+        for i in range(8):
+            arena.place(np.full(100, i, dtype=np.uint8))
+        assert arena.open_segments > 1
+        assert shm_entries("repro-t-abandon")
+        arena.close()
+        assert not shm_entries("repro-t-abandon")
+
+    def test_empty_array_placement(self):
+        with FrameArena(name_prefix="repro-t-empty") as arena:
+            handle = arena.place(np.zeros((0, 3), dtype=np.int32))
+            assert handle.nbytes == 0
+            assert read_array(handle).shape == (0, 3)
+
+    def test_slab_bytes_validated(self):
+        with pytest.raises(ValueError, match="slab_bytes"):
+            FrameArena(slab_bytes=0)
+
+
+class TestAttach:
+    def test_attach_view_aliases_read_copy_owns(self):
+        arr = np.arange(16, dtype=np.uint8)
+        with FrameArena(name_prefix="repro-t-attach") as arena:
+            handle = arena.place(arr)
+            owned = read_array(handle)
+            view = attach_array(handle)
+            view[0] = 99  # mutate through the shared mapping
+            assert attach_array(handle)[0] == 99  # view sees shared pages
+            assert owned[0] == 0  # the copy took no lifetime along
+            del view
+            detach_segment(handle.segment)  # release mapping before unlink
+
+    def test_detach_unknown_segment_is_noop(self):
+        detach_segment("repro-never-created")
+
+
+# -- ownership transfer ----------------------------------------------------
+
+
+class TestExportSegment:
+    def test_round_trip_single_segment_then_unlink(self):
+        arrays = [
+            np.arange(10, dtype=np.int32),
+            np.zeros((2, 3), dtype=np.float64),
+            np.array([], dtype=np.uint8),
+        ]
+        handles = export_segment(arrays, name_prefix="repro-t-tx")
+        assert len({h.segment for h in handles}) == 1  # one segment per export
+        assert shm_entries("repro-t-tx")
+        for handle, arr in zip(handles, arrays):
+            np.testing.assert_array_equal(read_array(handle), arr)
+        unlink_segment(handles[0].segment)
+        assert not shm_entries("repro-t-tx")
+
+    def test_empty_export(self):
+        assert export_segment([], name_prefix="repro-t-none") == []
+        assert not shm_entries("repro-t-none")
+
+    def test_unlink_is_idempotent(self):
+        handles = export_segment([np.zeros(4, dtype=np.uint8)], name_prefix="repro-t-dbl")
+        unlink_segment(handles[0].segment)
+        unlink_segment(handles[0].segment)  # second unlink is a no-op
+        assert not shm_entries("repro-t-dbl")
+
+
+# -- typed sharing ---------------------------------------------------------
+
+
+class TestShare:
+    def test_frame_round_trip_via_arena(self):
+        frame = random_frame(seed=3, index=7)
+        with FrameArena(name_prefix="repro-t-frame") as arena:
+            shared = share(frame, arena.place)
+            assert handle_count(shared) == 3
+            rebuilt = materialize(shared, unlink=False)  # arena owns lifetime
+            assert rebuilt == frame and rebuilt.index == 7
+        assert not shm_entries("repro-t-frame")
+
+    def test_parsed_picture_round_trip_via_export(self, parsed_pictures):
+        for parsed in parsed_pictures:
+            shared = export(parsed, name_prefix="repro-t-parsed")
+            assert handle_count(shared) == len(
+                [a for a in (parsed.levels, parsed.dc_levels, parsed.hx, parsed.hy)
+                 if a is not None]
+            )
+            assert materialize(shared, unlink=True) == parsed
+        assert not shm_entries("repro-t-parsed")
+
+    def test_intra_and_inter_shapes_covered(self, parsed_pictures):
+        """The fixture really exercises both optional-member layouts."""
+        intra, *inter = parsed_pictures
+        assert intra.dc_levels is not None and intra.hx is None
+        assert all(p.hx is not None and p.dc_levels is None for p in inter)
+
+    def test_containers_recurse_preserving_type(self):
+        frames = (random_frame(seed=1), [random_frame(seed=2)])
+        with FrameArena(name_prefix="repro-t-nest") as arena:
+            shared = share(frames, arena.place)
+            assert isinstance(shared, tuple) and isinstance(shared[1], list)
+            assert handle_count(shared) == 6
+            rebuilt = materialize(shared, unlink=False)
+        assert rebuilt[0] == frames[0] and rebuilt[1][0] == frames[1][0]
+
+    def test_scalar_values_pass_through(self):
+        for value in (3.5, "cell", None, (1, "two")):
+            assert share(value, place=None) == value
+            assert export(value) == value
+            assert materialize(value) == value
+            assert handle_count(value) == 0
+
+    def test_payload_bytes_accounting(self):
+        frame = random_frame()
+        raw = 32 * 32 + 2 * 16 * 16
+        assert payload_bytes(frame) == raw
+        assert payload_bytes([frame, frame]) == 2 * raw
+        assert payload_bytes(b"\x00" * 17) == 17
+        assert payload_bytes("scalar") == 0
