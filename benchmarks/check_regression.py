@@ -26,13 +26,14 @@ Key classification, shared with the benchmark writers:
 * anything else (``machine_*`` descriptors and other metadata) is
   reported but never gates.
 
-One machine-shaped exception: ``parallel_*``, ``transport_*`` and
-``stream_pipeline_*`` speedup keys compare a multi-worker run against
-a serial one, which only makes sense with parallel hardware underneath
-— when the fresh record says ``machine_cpu_count < 2`` they are
-reported as info instead of gated (``benchmarks/test_bench_parallel.py``,
-``test_bench_transport.py`` and ``test_bench_stream.py`` apply the
-same rule to their own hard asserts).
+One machine-shaped exception: ``parallel_*``, ``transport_*``,
+``stream_pipeline_*`` and ``gop_*`` speedup keys compare a multi-worker
+run against a serial one, which only makes sense with parallel hardware
+underneath — when the fresh record says ``machine_cpu_count < 2`` they
+are reported as info instead of gated
+(``benchmarks/test_bench_parallel.py``, ``test_bench_transport.py``,
+``test_bench_stream.py`` and ``test_bench_gop.py`` apply the same rule
+to their own hard asserts).
 
 Usage::
 
@@ -61,7 +62,7 @@ HIGHER_IS_BETTER_MARKER = "speedup"
 
 #: Speedup keys that compare multi-worker against serial execution —
 #: informational (not gated) when the fresh machine has one core.
-MULTI_CORE_ONLY_PREFIXES = ("parallel_", "transport_", "stream_pipeline_")
+MULTI_CORE_ONLY_PREFIXES = ("parallel_", "transport_", "stream_pipeline_", "gop_")
 
 
 def classify(key: str) -> str | None:

@@ -84,6 +84,18 @@ class BitWriter:
         value, length = code
         self.write_bits(value, length)
 
+    def write_ue(self, value: int) -> int:
+        """Write ``value >= 0`` as an unsigned exp-Golomb code; returns
+        its bit length.  Inlined rather than importing the VLC layer's
+        :func:`~repro.codec.vlc.ue_golomb_code` so this module stays
+        dependency-free."""
+        if value < 0:
+            raise ValueError(f"ue(v) needs v >= 0, got {value}")
+        v = value + 1
+        length = 2 * v.bit_length() - 1
+        self.write_bits(v, length)
+        return length
+
     def align(self) -> int:
         """Zero-pad to the next byte boundary; returns bits padded."""
         padding = (8 - self._filled) & 7

@@ -46,10 +46,13 @@ from repro.codec.encoder import (
     FRAME_LENGTH_BITS,
     FRAME_START_CODE,
     FRAME_START_CODE_BITS,
+    MAX_REF_FRAMES,
     PICTURE_HEADER_BITS,
     START_CODE,
     START_CODE_BITS,
+    START_CODE_EXT,
 )
+from repro.codec.intra import INTRA_MODE_BITS, intra_predict
 from repro.codec.macroblock import (
     decode_inter_block,
     decode_intra_block,
@@ -59,8 +62,8 @@ from repro.codec.macroblock import (
     read_events,
 )
 from repro.codec.mv_coding import predict_mv, read_mvd
-from repro.codec.vlc import read_ue_golomb_bitwise
 from repro.codec.quantizer import dequantize, dequantize_intra_dc
+from repro.codec.vlc import read_ue_golomb, read_ue_golomb_bitwise
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
 from repro.codec.zigzag import events_to_block
 from repro.me.engine import (
@@ -89,10 +92,21 @@ class PictureHeader:
     p: int
     mb_rows: int
     mb_cols: int
+    #: Opened by the extended start code: predictive-intra I-frames,
+    #: reference-list P-frames (the GOP syntax).
+    extended: bool = False
+    #: Active reference count this P-frame's per-MB indices address
+    #: (always 1 for seed-syntax pictures and for I-frames).
+    num_refs: int = 1
 
     @property
     def geometry(self) -> FrameGeometry:
         return FrameGeometry(16 * self.mb_cols, 16 * self.mb_rows)
+
+    @property
+    def intra_pred(self) -> bool:
+        """Whether this is a spatially predicted (GOP-syntax) I-frame."""
+        return self.extended and self.frame_type == "I"
 
 
 def detect_version(bitstream: bytes) -> int:
@@ -109,8 +123,9 @@ def detect_version(bitstream: bytes) -> int:
 def read_picture_header(reader) -> PictureHeader:
     """Read and validate one picture header at the reader's cursor."""
     marker = reader.read_bits(START_CODE_BITS)
-    if marker != START_CODE:
+    if marker not in (START_CODE, START_CODE_EXT):
         raise ValueError(f"bad start code {marker:#x}")
+    extended = marker == START_CODE_EXT
     frame_type = "P" if reader.read_bit() else "I"
     qp = reader.read_bits(5)
     p = reader.read_bits(5)
@@ -118,7 +133,8 @@ def read_picture_header(reader) -> PictureHeader:
     mb_cols = reader.read_bits(8)
     if not 1 <= qp <= 31:
         raise ValueError(f"decoded Qp {qp} out of range")
-    return PictureHeader(frame_type, qp, p, mb_rows, mb_cols)
+    num_refs = reader.read_bits(3) + 1 if extended and frame_type == "P" else 1
+    return PictureHeader(frame_type, qp, p, mb_rows, mb_cols, extended, num_refs)
 
 
 # -- symbol parse ---------------------------------------------------------
@@ -128,12 +144,15 @@ def read_picture_header(reader) -> PictureHeader:
 class ParsedPicture:
     """One picture's fully parsed symbols, reconstruction-ready.
 
-    Intra pictures carry ``dc_levels`` (``(rows*cols*6,)``) and flat
-    ``levels`` (``(rows*cols*6, 8, 8)``); inter pictures carry
-    ``levels`` shaped ``(rows, cols, 6, 8, 8)`` plus the decoded motion
-    field as half-pel component arrays ``hx``/``hy``.  Plain header +
-    NumPy arrays, so a picture parsed in a worker process crosses the
-    pickle boundary cheaply.
+    Seed-syntax intra pictures carry ``dc_levels`` (``(rows*cols*6,)``)
+    and flat ``levels`` (``(rows*cols*6, 8, 8)``); GOP-syntax intra
+    pictures carry inter-shaped ``levels`` plus the per-MB prediction
+    ``modes``.  Inter pictures carry ``levels`` shaped
+    ``(rows, cols, 6, 8, 8)`` plus the decoded motion field as half-pel
+    component arrays ``hx``/``hy`` (and, for extended pictures, the
+    per-MB ``ref_idx`` into the reference list).  Plain header + NumPy
+    arrays, so a picture parsed in a worker process crosses the pickle
+    boundary cheaply.
     """
 
     header: PictureHeader
@@ -141,6 +160,8 @@ class ParsedPicture:
     dc_levels: np.ndarray | None = None
     hx: np.ndarray | None = None
     hy: np.ndarray | None = None
+    modes: np.ndarray | None = None
+    ref_idx: np.ndarray | None = None
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ParsedPicture):
@@ -157,6 +178,8 @@ class ParsedPicture:
             and same(self.dc_levels, other.dc_levels)
             and same(self.hx, other.hx)
             and same(self.hy, other.hy)
+            and same(self.modes, other.modes)
+            and same(self.ref_idx, other.ref_idx)
         )
 
 
@@ -185,17 +208,54 @@ def _parse_intra_body(reader, header: PictureHeader) -> ParsedPicture:
     return ParsedPicture(header=header, levels=levels, dc_levels=dc_levels)
 
 
-def _parse_inter_body(reader, header: PictureHeader) -> ParsedPicture:
-    """Reference inter parse: seed event-list walk, any reader."""
+def _read_ref_index(reader, header: PictureHeader) -> int:
+    """One coded macroblock's exp-Golomb reference index, validated
+    against the header's active-reference count."""
+    ref = read_ue_golomb(reader)
+    if ref >= header.num_refs:
+        raise ValueError(
+            f"reference index {ref} out of range "
+            f"(picture codes {header.num_refs} active references)"
+        )
+    return ref
+
+
+def _parse_intra_pred_body(reader, header: PictureHeader) -> ParsedPicture:
+    """Reference parse of a GOP-syntax I-frame: per-MB mode bits, then
+    inter-style residual events (seed event-list walk, any reader)."""
     rows, cols = header.mb_rows, header.mb_cols
+    levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+    modes = np.empty((rows, cols), dtype=np.int64)
+    for r in range(rows):
+        for c in range(cols):
+            mode = reader.read_bits(INTRA_MODE_BITS)
+            if mode > 2:
+                raise ValueError(f"illegal intra prediction mode {mode}")
+            modes[r, c] = mode
+            coded_flags = _read_coded_flags(reader)
+            for k, coded in enumerate(coded_flags):
+                if coded:
+                    levels[r, c, k] = events_to_block(read_events(reader))
+    return ParsedPicture(header=header, levels=levels, modes=modes)
+
+
+def _parse_inter_body(reader, header: PictureHeader) -> ParsedPicture:
+    """Reference inter parse: seed event-list walk, any reader.
+    Extended pictures additionally carry a per-MB reference index
+    between the CBPY and the MVD."""
+    rows, cols = header.mb_rows, header.mb_cols
+    multi = header.extended
     coded_field = MotionField(rows, cols)
     levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+    ref_idx = np.zeros((rows, cols), dtype=np.int64) if multi else None
     for r in range(rows):
         for c in range(cols):
             if reader.read_bit():  # COD = 1: skipped
                 coded_field.set(r, c, MotionVector.zero())
                 continue
             coded_flags = _read_coded_flags(reader)
+            if multi:
+                ref_idx[r, c] = _read_ref_index(reader, header)
             predictor = predict_mv(coded_field, r, c)
             mv = read_mvd(reader, predictor)
             coded_field.set(r, c, mv)
@@ -203,7 +263,7 @@ def _parse_inter_body(reader, header: PictureHeader) -> ParsedPicture:
                 if coded:
                     levels[r, c, k] = events_to_block(read_events(reader))
     hx, hy = coded_field.to_arrays()
-    return ParsedPicture(header=header, levels=levels, hx=hx, hy=hy)
+    return ParsedPicture(header=header, levels=levels, hx=hx, hy=hy, ref_idx=ref_idx)
 
 
 # LUTs bound once for the fast bodies below.
@@ -232,15 +292,51 @@ def _parse_intra_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPi
     return ParsedPicture(header=header, levels=levels, dc_levels=dc_levels)
 
 
+def _parse_intra_pred_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPicture:
+    """Word-level GOP-syntax intra parse: LUT symbol hits, levels
+    written straight into the batched arrays.  Bit-identical to
+    :func:`_parse_intra_pred_body`."""
+    rows, cols = header.mb_rows, header.mb_cols
+    levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
+    flat = levels.reshape(rows, cols, 6, 64)
+    modes = np.empty((rows, cols), dtype=np.int64)
+    read_vlc = reader.read_vlc
+    read_bits = reader.read_bits
+    for r in range(rows):
+        for c in range(cols):
+            mode = read_bits(INTRA_MODE_BITS)
+            if mode > 2:
+                raise ValueError(f"illegal intra prediction mode {mode}")
+            modes[r, c] = mode
+            mcbpc = read_vlc(_MCBPC_LUT, _MCBPC_BITS)
+            cbpy = read_vlc(_CBPY_LUT, _CBPY_BITS)
+            mb_flat = flat[r, c]
+            if cbpy & 1:
+                read_block_levels(reader, mb_flat[0])
+            if cbpy & 2:
+                read_block_levels(reader, mb_flat[1])
+            if cbpy & 4:
+                read_block_levels(reader, mb_flat[2])
+            if cbpy & 8:
+                read_block_levels(reader, mb_flat[3])
+            if mcbpc & 2:
+                read_block_levels(reader, mb_flat[4])
+            if mcbpc & 1:
+                read_block_levels(reader, mb_flat[5])
+    return ParsedPicture(header=header, levels=levels, modes=modes)
+
+
 def _parse_inter_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPicture:
     """Word-level inter parse.  Bit-identical to :func:`_parse_inter_body`,
     with the motion field held as plain int rows (the H.263 median
     prediction inlined) instead of per-vector objects."""
     rows, cols = header.mb_rows, header.mb_cols
+    multi = header.extended
     levels = np.zeros((rows, cols, 6, 8, 8), dtype=np.int64)
     flat = levels.reshape(rows, cols, 6, 64)
     hx = [[0] * cols for _ in range(rows)]
     hy = [[0] * cols for _ in range(rows)]
+    ref_idx = np.zeros((rows, cols), dtype=np.int64) if multi else None
     read_vlc = reader.read_vlc
     read_bit = reader.read_bit
     read_ue = reader.read_ue
@@ -251,6 +347,16 @@ def _parse_inter_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPi
                 continue
             mcbpc = read_vlc(_MCBPC_LUT, _MCBPC_BITS)
             cbpy = read_vlc(_CBPY_LUT, _CBPY_BITS)
+            if multi:
+                ref = read_ue()
+                if ref < 0:
+                    ref = read_ue_golomb_bitwise(reader)
+                if ref >= header.num_refs:
+                    raise ValueError(
+                        f"reference index {ref} out of range "
+                        f"(picture codes {header.num_refs} active references)"
+                    )
+                ref_idx[r, c] = ref
             # Median MVD predictor (see repro.codec.mv_coding): on the
             # top row the predictor is the left vector (zero at the
             # corner); elsewhere left/above/above-right with zero for
@@ -293,6 +399,7 @@ def _parse_inter_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPi
         levels=levels,
         hx=np.array(hx, dtype=np.int64),
         hy=np.array(hy, dtype=np.int64),
+        ref_idx=ref_idx,
     )
 
 
@@ -304,6 +411,12 @@ def parse_picture_body(reader, header: PictureHeader) -> ParsedPicture:
     """
     fast = hasattr(reader, "read_vlc")
     if header.frame_type == "I":
+        if header.extended:
+            return (
+                _parse_intra_pred_body_fast(reader, header)
+                if fast
+                else _parse_intra_pred_body(reader, header)
+            )
         return _parse_intra_body_fast(reader, header) if fast else _parse_intra_body(reader, header)
     return _parse_inter_body_fast(reader, header) if fast else _parse_inter_body(reader, header)
 
@@ -390,6 +503,23 @@ class FrameIndex:
         start, end = self.ranges[index]
         return bitstream[start:end]
 
+    def frame_types(self, bitstream: bytes) -> tuple[str, ...]:
+        """``"I"``/``"P"`` per indexed picture, read from the header
+        bytes alone: the 16-bit picture start code is followed by the
+        frame-type bit, so byte 2's MSB of each payload decides without
+        parsing any symbols."""
+        types = []
+        for start, _end in self.ranges:
+            marker = (bitstream[start] << 8) | bitstream[start + 1]
+            if marker not in (START_CODE, START_CODE_EXT):
+                raise ValueError(f"bad start code {marker:#x}")
+            types.append("P" if bitstream[start + 2] & 0x80 else "I")
+        return tuple(types)
+
+    def keyframes(self, bitstream: bytes) -> tuple[int, ...]:
+        """Indices of the I-frames — the stream's random-access points."""
+        return tuple(i for i, t in enumerate(self.frame_types(bitstream)) if t == "I")
+
     @classmethod
     def scan(cls, bitstream: bytes) -> "FrameIndex":
         """Scan a whole in-memory stream.
@@ -415,21 +545,89 @@ class FrameIndex:
         return cls(ranges=tuple(state.ranges))
 
 
+def slice_from_keyframe(bitstream: bytes, frame: int) -> bytes:
+    """The suffix of a version-2 stream starting at picture ``frame``'s
+    framing, for random access: because an I-frame resets the reference
+    list, decoding the returned bytes reproduces frames ``frame..end``
+    bit-identically to a full decode.
+
+    ``frame`` must index an I-frame — seeking to a P-frame cannot
+    reconstruct (its references were discarded), so that raises with
+    the stream's actual random-access points listed.
+    """
+    index = FrameIndex.scan(bitstream)
+    if not 0 <= frame < len(index):
+        raise ValueError(f"frame {frame} out of range (stream holds {len(index)} frames)")
+    if index.frame_types(bitstream)[frame] != "I":
+        keyframes = index.keyframes(bitstream)
+        raise ValueError(
+            f"frame {frame} is a P-frame; random access needs an I-frame "
+            f"(keyframes in this stream: {list(keyframes)})"
+        )
+    start, _end = index.ranges[frame]
+    # The payload range excludes the 4-byte start code + 4-byte length
+    # field; back up over them so the slice is itself a valid stream.
+    return bitstream[start - (FRAME_START_CODE_BITS + FRAME_LENGTH_BITS) // 8 :]
+
+
 # -- reconstruction -------------------------------------------------------
 
 
+def _reconstruct_intra_pred(parsed: ParsedPicture, frame_index: int) -> Frame:
+    """GOP-syntax I-frame: batched residual IDCT, then the serial
+    spatial-prediction sweep (each macroblock predicts from already
+    reconstructed neighbours, so the per-MB loop is inherent)."""
+    header = parsed.header
+    rows, cols = header.mb_rows, header.mb_cols
+    g = header.geometry
+    residual = inverse_dct(dequantize(parsed.levels, header.qp))
+    y = np.empty((g.height, g.width), dtype=np.uint8)
+    cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+    cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            mode = int(parsed.modes[r, c])
+            pred_y = intra_predict(y, r, c, 16, mode)
+            pred_cb = intra_predict(cb, r, c, 8, mode)
+            pred_cr = intra_predict(cr, r, c, 8, mode)
+            mb = residual[r, c]
+            y[16 * r : 16 * r + 16, 16 * c : 16 * c + 16] = np.clip(
+                np.rint(join_luma_blocks(mb[:4]) + pred_y), 0, 255
+            ).astype(np.uint8)
+            cb[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = np.clip(
+                np.rint(mb[4] + pred_cb), 0, 255
+            ).astype(np.uint8)
+            cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = np.clip(
+                np.rint(mb[5] + pred_cr), 0, 255
+            ).astype(np.uint8)
+    return Frame(y, cb, cr, index=frame_index)
+
+
 def reconstruct_picture(
-    parsed: ParsedPicture, reference: Frame | None, frame_index: int = 0
+    parsed: ParsedPicture,
+    reference: "Frame | list[Frame] | None",
+    frame_index: int = 0,
 ) -> Frame:
     """Pixels from parsed symbols via the batched engine kernels.
 
-    Skipped macroblocks fold into the batched path naturally: their
-    vector is zero (the motion compensation degenerates to the
-    reference slice) and their residual coefficients stay zero, so
-    ``rint(0 + pred)`` reproduces the reference copy bit-for-bit.
+    ``reference`` is the decoded reference list, most recent first (a
+    bare :class:`Frame` is accepted as a one-element list for the seed
+    single-reference syntax).  Skipped macroblocks fold into the
+    batched path naturally: their vector is zero (the motion
+    compensation degenerates to the reference slice) and their residual
+    coefficients stay zero, so ``rint(0 + pred)`` reproduces the
+    reference copy bit-for-bit.
     """
     header = parsed.header
+    if reference is None:
+        references: list[Frame] = []
+    elif isinstance(reference, Frame):
+        references = [reference]
+    else:
+        references = list(reference)
     if header.frame_type == "I":
+        if header.extended:
+            return _reconstruct_intra_pred(parsed, frame_index)
         rows, cols = header.mb_rows, header.mb_cols
         coefficients = dequantize(parsed.levels, header.qp)
         coefficients[:, 0, 0] = dequantize_intra_dc(parsed.dc_levels)
@@ -439,17 +637,43 @@ def reconstruct_picture(
         cb = tile_blocks(pixels[:, :, 4])
         cr = tile_blocks(pixels[:, :, 5])
         return Frame(y, cb, cr, index=frame_index)
-    if reference is None:
+    if not references:
         raise ValueError("P-frame without a decoded reference")
-    if reference.geometry != header.geometry:
+    if references[0].geometry != header.geometry:
         raise ValueError(
-            f"geometry change mid-stream: {reference.geometry} → {header.geometry}"
+            f"geometry change mid-stream: {references[0].geometry} → {header.geometry}"
         )
     coefficients = dequantize(parsed.levels, header.qp)
-    plane = ReferencePlane(reference.y)
-    chroma = ChromaReferencePlane(reference.cb, reference.cr)
-    pred_y = frame_mc_luma(plane, parsed.hx, parsed.hy)
-    pred_cb, pred_cr = chroma.mc_frame(parsed.hx, parsed.hy, header.p)
+    ref_idx = parsed.ref_idx
+    if ref_idx is None or not ref_idx.any():
+        plane = ReferencePlane(references[0].y)
+        chroma = ChromaReferencePlane(references[0].cb, references[0].cr)
+        pred_y = frame_mc_luma(plane, parsed.hx, parsed.hy)
+        pred_cb, pred_cr = chroma.mc_frame(parsed.hx, parsed.hy, header.p)
+    else:
+        needed = int(ref_idx.max())
+        if needed >= len(references):
+            raise ValueError(
+                f"picture selects reference {needed} but only {len(references)} "
+                f"frame(s) are decoded since the last I-frame"
+            )
+        pred_y = pred_cb = pred_cr = None
+        for k in np.unique(ref_idx):
+            ref = references[int(k)]
+            py = frame_mc_luma(ReferencePlane(ref.y), parsed.hx, parsed.hy)
+            pcb, pcr = ChromaReferencePlane(ref.cb, ref.cr).mc_frame(
+                parsed.hx, parsed.hy, header.p
+            )
+            if pred_y is None:
+                pred_y = np.empty_like(py)
+                pred_cb = np.empty_like(pcb)
+                pred_cr = np.empty_like(pcr)
+            mask = ref_idx == k
+            luma_mask = np.repeat(np.repeat(mask, 16, axis=0), 16, axis=1)
+            chroma_mask = np.repeat(np.repeat(mask, 8, axis=0), 8, axis=1)
+            pred_y[luma_mask] = py[luma_mask]
+            pred_cb[chroma_mask] = pcb[chroma_mask]
+            pred_cr[chroma_mask] = pcr[chroma_mask]
     residual = inverse_dct(coefficients)
     y = add_residual_clip(pred_y, tile_luma_blocks(residual[:, :, :4]))
     cb = add_residual_clip(pred_cb, tile_blocks(residual[:, :, 4]))
@@ -470,12 +694,19 @@ class Decoder:
         ``True`` (default) reconstructs each frame through the batched
         engine kernels; ``False`` forces the seed per-block loop.  Both
         paths are bit-identical.
+    first_frame_index:
+        Index stamped on the first decoded frame — pass the keyframe's
+        position when decoding a :func:`slice_from_keyframe` suffix so
+        frame indices line up with the full stream.
     """
 
-    def __init__(self, bitstream: bytes, use_engine: bool = True) -> None:
+    def __init__(
+        self, bitstream: bytes, use_engine: bool = True, first_frame_index: int = 0
+    ) -> None:
         self._reader = BitReader(bitstream)
-        self._reference: Frame | None = None
-        self._frame_index = 0
+        #: Decoded reference list, most recent first; reset by I-frames.
+        self._references: list[Frame] = []
+        self._frame_index = first_frame_index
         self._use_engine = bool(use_engine)
         self.version = detect_version(bitstream)
 
@@ -504,18 +735,23 @@ class Decoder:
     def decode_frame(self) -> Frame:
         expected_end = self._read_framing() if self.version == 2 else None
         header = read_picture_header(self._reader)
-        if header.frame_type == "P" and self._reference is None:
+        if header.frame_type == "P" and not self._references:
             raise ValueError("P-frame without a decoded reference")
         if self._use_engine:
             parsed = parse_picture_body(self._reader, header)
-            frame = reconstruct_picture(parsed, self._reference, self._frame_index)
+            frame = reconstruct_picture(parsed, self._references, self._frame_index)
+        elif header.intra_pred:
+            frame = self._decode_intra_pred_per_block(header)
         elif header.frame_type == "I":
             frame = self._decode_intra_per_block(header)
         else:
             frame = self._decode_inter_per_block(header)
         if expected_end is not None:
             check_frame_length(self._reader, expected_end)
-        self._reference = frame
+        if header.frame_type == "I":
+            self._references = [frame]
+        else:
+            self._references = [frame, *self._references][:MAX_REF_FRAMES]
         self._frame_index += 1
         return frame
 
@@ -541,9 +777,43 @@ class Decoder:
                 cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = pixels[5]
         return Frame(y, cb, cr, index=self._frame_index)
 
+    def _decode_intra_pred_per_block(self, header: PictureHeader) -> Frame:
+        """Seed-style per-MB loop for a GOP-syntax I-frame: mode bits,
+        inter-style residual events, spatial prediction from already
+        reconstructed neighbours."""
+        g = header.geometry
+        y = np.empty((g.height, g.width), dtype=np.uint8)
+        cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
+        for r in range(header.mb_rows):
+            for c in range(header.mb_cols):
+                mode = self._reader.read_bits(INTRA_MODE_BITS)
+                if mode > 2:
+                    raise ValueError(f"illegal intra prediction mode {mode}")
+                coded_flags = _read_coded_flags(self._reader)
+                blocks = []
+                for coded in coded_flags:
+                    events = read_events(self._reader) if coded else []
+                    blocks.append(decode_inter_block(events, header.qp))
+                residual = inverse_dct(np.stack(blocks))
+                pred_y = intra_predict(y, r, c, 16, mode)
+                pred_cb = intra_predict(cb, r, c, 8, mode)
+                pred_cr = intra_predict(cr, r, c, 8, mode)
+                y[16 * r : 16 * r + 16, 16 * c : 16 * c + 16] = np.clip(
+                    np.rint(join_luma_blocks(residual[:4]) + pred_y), 0, 255
+                ).astype(np.uint8)
+                cb[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = np.clip(
+                    np.rint(residual[4] + pred_cb), 0, 255
+                ).astype(np.uint8)
+                cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = np.clip(
+                    np.rint(residual[5] + pred_cr), 0, 255
+                ).astype(np.uint8)
+        return Frame(y, cb, cr, index=self._frame_index)
+
     def _decode_inter_per_block(self, header: PictureHeader) -> Frame:
         g = header.geometry
-        ref = self._reference
+        refs = self._references
+        ref = refs[0]
         if ref.geometry != g:
             raise ValueError(f"geometry change mid-stream: {ref.geometry} → {g}")
         y = np.empty((g.height, g.width), dtype=np.uint8)
@@ -554,7 +824,7 @@ class Decoder:
             for c in range(header.mb_cols):
                 y0, x0 = 16 * r, 16 * c
                 cy0, cx0 = 8 * r, 8 * c
-                if self._reader.read_bit():  # COD = 1: skipped
+                if self._reader.read_bit():  # COD = 1: skipped, reference 0
                     mv = MotionVector.zero()
                     coded_field.set(r, c, mv)
                     y[y0 : y0 + 16, x0 : x0 + 16] = ref.y[y0 : y0 + 16, x0 : x0 + 16]
@@ -562,6 +832,15 @@ class Decoder:
                     cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = ref.cr[cy0 : cy0 + 8, cx0 : cx0 + 8]
                     continue
                 coded_flags = _read_coded_flags(self._reader)
+                source = ref
+                if header.extended:
+                    k = _read_ref_index(self._reader, header)
+                    if k >= len(refs):
+                        raise ValueError(
+                            f"picture selects reference {k} but only {len(refs)} "
+                            f"frame(s) are decoded since the last I-frame"
+                        )
+                    source = refs[k]
                 predictor = predict_mv(coded_field, r, c)
                 mv = read_mvd(self._reader, predictor)
                 coded_field.set(r, c, mv)
@@ -570,9 +849,9 @@ class Decoder:
                     events = read_events(self._reader) if coded else []
                     blocks.append(decode_inter_block(events, header.qp))
                 residual = inverse_dct(np.stack(blocks))
-                pred_y = predict_block(ref.y, y0, x0, mv, 16, 16).astype(np.float64)
-                pred_cb = predict_chroma_block(ref.cb, cy0, cx0, mv, header.p).astype(np.float64)
-                pred_cr = predict_chroma_block(ref.cr, cy0, cx0, mv, header.p).astype(np.float64)
+                pred_y = predict_block(source.y, y0, x0, mv, 16, 16).astype(np.float64)
+                pred_cb = predict_chroma_block(source.cb, cy0, cx0, mv, header.p).astype(np.float64)
+                pred_cr = predict_chroma_block(source.cr, cy0, cx0, mv, header.p).astype(np.float64)
                 y[y0 : y0 + 16, x0 : x0 + 16] = np.clip(
                     np.rint(join_luma_blocks(residual[:4]) + pred_y), 0, 255
                 ).astype(np.uint8)
@@ -592,6 +871,7 @@ def decode_bitstream(
     jobs: int = 1,
     base_seed: int = 0,
     use_shm: bool = False,
+    start_frame: int = 0,
 ) -> list[Frame]:
     """Decode ``frames`` pictures (or all that fit) from a bitstream.
 
@@ -611,6 +891,11 @@ def decode_bitstream(
     (``run_jobs(..., use_shm=True)``); it changes transport only, never
     bits, and is ignored when ``jobs`` stay serial.
 
+    ``start_frame`` seeks: the stream is sliced at that picture with
+    :func:`slice_from_keyframe` (version 2 only; must be an I-frame)
+    and decoding starts there, with frame indices matching the full
+    stream's.
+
     >>> from repro.video.synthesis.sequences import make_sequence
     >>> from repro.codec.encoder import encode_sequence
     >>> seq = make_sequence("miss_america", frames=2)
@@ -619,6 +904,8 @@ def decode_bitstream(
     >>> all(d == r for d, r in zip(decoded, result.reconstruction))
     True
     """
+    if start_frame:
+        bitstream = slice_from_keyframe(bitstream, start_frame)
     if jobs > 1 and use_engine and detect_version(bitstream) == 2:
         from repro.parallel import ParseFrameJob, run_jobs
 
@@ -631,12 +918,16 @@ def decode_bitstream(
             use_shm=use_shm,
         )
         out: list[Frame] = []
-        reference: Frame | None = None
+        references: list[Frame] = []
         for i, picture in enumerate(parsed):
-            reference = reconstruct_picture(picture, reference, i)
-            out.append(reference)
+            frame = reconstruct_picture(picture, references, start_frame + i)
+            if picture.header.frame_type == "I":
+                references = [frame]
+            else:
+                references = [frame, *references][:MAX_REF_FRAMES]
+            out.append(frame)
         return out
-    decoder = Decoder(bitstream, use_engine=use_engine)
+    decoder = Decoder(bitstream, use_engine=use_engine, first_frame_index=start_frame)
     out = []
     while decoder.has_more and (frames is None or len(out) < frames):
         out.append(decoder.decode_frame())

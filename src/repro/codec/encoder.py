@@ -11,6 +11,19 @@ identical frames from it.
 This is the rig behind Figures 5-6 and Table 1: the estimator is
 pluggable, the per-frame :class:`repro.me.stats.SearchStats` feed the
 complexity table, and PSNR/bits feed the RD curves.
+
+**GOP structure** (``i_period`` / ``n_ref_frames``): passing
+``i_period=N`` opens a new GOP every N frames with a spatially
+predicted I-frame (:mod:`repro.codec.intra` modes, chosen per
+macroblock), and ``n_ref_frames=K`` keeps the K most recent
+reconstructions as a reference list — each coded P-macroblock selects
+its reference with an exp-Golomb index.  The reference list resets at
+every I-frame, so GOPs are fully independent: that is what lets
+:func:`repro.parallel.gop.encode_sequence_parallel` encode GOPs in
+separate processes and splice byte-identical version-2 streams.  GOP
+frames carry the extended picture start code; the defaults
+(``i_period=None, n_ref_frames=1``) emit the seed syntax, byte for
+byte.
 """
 
 from __future__ import annotations
@@ -22,6 +35,12 @@ import numpy as np
 from repro.analysis.psnr import psnr
 from repro.codec.bitstream import BitWriter
 from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.intra import (
+    INTRA_MODE_BITS,
+    choose_intra_modes,
+    intra_mode_costs_reference,
+    intra_predict,
+)
 from repro.codec.macroblock import (
     code_inter_block,
     code_intra_block,
@@ -33,7 +52,12 @@ from repro.codec.macroblock import (
 from repro.codec.quantizer import check_qp
 from repro.codec.mv_coding import predict_mv, write_mvd
 from repro.codec.vlc_tables import CBPY_TABLE, MCBPC_TABLE
-from repro.me.engine import ChromaReferencePlane, ReferencePlane, frame_mc_luma
+from repro.me.engine import (
+    ChromaReferencePlane,
+    ReferencePlane,
+    frame_mc_luma,
+    intra_mode_cost_surfaces,
+)
 from repro.me.estimator import MotionEstimator, create_estimator
 from repro.me.stats import SearchStats
 from repro.me.subpel import predict_block
@@ -44,6 +68,18 @@ from repro.video.sequence import Sequence
 #: Picture start code value and width (stand-in for H.263's PSC).
 START_CODE = 0x7E7E
 START_CODE_BITS = 16
+
+#: Extended picture start code: same width, selects the GOP syntax for
+#: the picture it opens — predictive intra modes in I-frames, an
+#: active-reference count (and per-MB reference indices) in P-frames.
+#: Stateless per frame, so seed-syntax and GOP-syntax pictures mix
+#: freely in one stream and the default encoder configuration never
+#: emits it (byte-identity with the seed format is golden-pinned).
+START_CODE_EXT = 0x7E7D
+
+#: Format cap on the reference list length: the extended P-frame header
+#: carries ``active_refs - 1`` in 3 bits.
+MAX_REF_FRAMES = 8
 
 #: Version-2 framing: each picture is preceded by a byte-aligned
 #: 32-bit frame start code and a 32-bit payload length in bytes, so a
@@ -118,6 +154,12 @@ class EncodeResult:
         return self.total_bits / len(self.frames) * self.fps / 1000.0
 
     @property
+    def keyframes(self) -> tuple[int, ...]:
+        """Positions of the I-frames — the GOP openings a decoder can
+        start from (see ``decode_bitstream(..., start_frame=...)``)."""
+        return tuple(i for i, f in enumerate(self.frames) if f.frame_type == "I")
+
+    @property
     def search_stats(self) -> SearchStats:
         """Merged motion-search statistics across all P-frames."""
         merged = SearchStats()
@@ -171,6 +213,20 @@ class Encoder:
         picture to a byte boundary), so the stream is splittable into
         per-frame ranges without parsing — the symbols inside each
         picture are bit-identical to version 1.
+    i_period:
+        ``None`` (default) keeps the seed behaviour: one I-frame, then
+        an open-ended P-chain.  ``N >= 1`` opens a new GOP every N
+        frames with a spatially predicted I-frame; the reference list
+        resets there, making each GOP independently decodable (random
+        access via :class:`repro.codec.decoder.FrameIndex`) and
+        independently *encodable*
+        (:func:`repro.parallel.gop.encode_sequence_parallel`).
+    n_ref_frames:
+        Reference list depth (1..8).  ``1`` (default) is the seed
+        single-reference closed loop; ``K > 1`` searches each P-frame
+        against the K most recent reconstructions and codes a per-MB
+        reference index, switching those P-frames to the extended
+        picture syntax.
     """
 
     def __init__(
@@ -181,6 +237,8 @@ class Encoder:
         keep_reconstruction: bool = True,
         use_engine: bool = True,
         bitstream_version: int = 1,
+        i_period: int | None = None,
+        n_ref_frames: int = 1,
     ) -> None:
         self.qp = check_qp(qp)
         if isinstance(estimator, str):
@@ -193,6 +251,30 @@ class Encoder:
         if bitstream_version not in (1, 2):
             raise ValueError(f"bitstream_version must be 1 or 2, got {bitstream_version}")
         self.bitstream_version = bitstream_version
+        if i_period is not None and i_period < 1:
+            raise ValueError(
+                f"i_Period must be a positive GOP length in frames "
+                f"(or None for one open-ended GOP), got {i_period}"
+            )
+        if not 1 <= n_ref_frames <= MAX_REF_FRAMES:
+            raise ValueError(
+                f"nRefFrames must be between 1 and {MAX_REF_FRAMES} "
+                f"(the 3-bit active-reference field's reach), got {n_ref_frames}"
+            )
+        self.i_period = i_period
+        self.n_ref_frames = n_ref_frames
+
+    @property
+    def gop_syntax(self) -> bool:
+        """Whether this configuration uses the extended (GOP) picture
+        syntax anywhere.  ``False`` means every emitted byte matches
+        the seed encoder."""
+        return self.i_period is not None or self.n_ref_frames > 1
+
+    def is_intra_position(self, position: int) -> bool:
+        """Frame-type decision: position 0 always, then every
+        ``i_period``-th frame when a GOP period is set."""
+        return position == 0 or (self.i_period is not None and position % self.i_period == 0)
 
     # -- public API ----------------------------------------------------
 
@@ -201,18 +283,24 @@ class Encoder:
         writer: BitWriter,
         frame: Frame,
         position: int,
-        prev_recon: Frame | None,
+        references: "Frame | list[Frame] | None",
         prev_field: MotionField | None,
     ) -> tuple[FrameRecord, Frame, MotionField | None]:
-        """Encode one frame (intra at ``position`` 0, inter after) into
-        ``writer``, including any version-2 framing.
+        """Encode one frame (intra at GOP openings, inter otherwise)
+        into ``writer``, including any version-2 framing.
 
-        Returns ``(record, reconstruction, motion_field)`` — the state
-        the caller threads into the next call.  This is the single
-        per-frame step both :meth:`encode` and the streaming encoder
-        (:class:`repro.streaming.StreamEncoder`) drive, which is what
-        makes their emitted bytes identical by construction.
+        ``references`` is the reference list, most recent first (a bare
+        :class:`Frame` or ``None`` is accepted for single-reference
+        callers).  Returns ``(record, reconstruction, motion_field)`` —
+        thread the reconstruction back through
+        :meth:`advance_references` and pass the field to the next call.
+        This is the single per-frame step :meth:`encode`, the streaming
+        encoder (:class:`repro.streaming.StreamEncoder`) and the
+        per-GOP job (:class:`repro.parallel.jobs.GopEncodeJob`) all
+        drive, which is what makes their emitted bytes identical by
+        construction.
         """
+        refs = self._as_reference_list(references)
         framed = self.bitstream_version == 2
         if framed:
             frame_start_bits = writer.bit_count
@@ -221,8 +309,11 @@ class Encoder:
             length_pos = writer.byte_length
             writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
             payload_start = writer.byte_length
-        if position == 0:
-            bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
+        if self.is_intra_position(position):
+            if self.gop_syntax:
+                bits, recon, coef_bits = self._encode_intra_pred_frame(writer, frame)
+            else:
+                bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
             record = FrameRecord(
                 index=frame.index,
                 frame_type="I",
@@ -235,16 +326,24 @@ class Encoder:
             )
             field = None
         else:
-            # One reference cache per P-frame, shared by the motion
-            # search and the luma motion compensation below — both
-            # read the same interpolated half-pel samples.
-            plane = ReferencePlane.wrap(prev_recon.y)
-            field, stats = self.estimator.estimate(
-                frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
-            )
-            bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
-                writer, frame, prev_recon, field, plane
-            )
+            if not refs:
+                raise ValueError(f"P-frame at position {position} without a reference")
+            if self.n_ref_frames > 1:
+                bits, recon, skipped, mv_bits, coef_bits, field, stats = (
+                    self._encode_inter_frame_multi(writer, frame, refs, prev_field)
+                )
+            else:
+                prev_recon = refs[0]
+                # One reference cache per P-frame, shared by the motion
+                # search and the luma motion compensation below — both
+                # read the same interpolated half-pel samples.
+                plane = ReferencePlane.wrap(prev_recon.y)
+                field, stats = self.estimator.estimate(
+                    frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
+                )
+                bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
+                    writer, frame, prev_recon, field, plane
+                )
             record = FrameRecord(
                 index=frame.index,
                 frame_type="P",
@@ -266,19 +365,38 @@ class Encoder:
             record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
         return record, recon, field
 
+    @staticmethod
+    def _as_reference_list(references: "Frame | list[Frame] | None") -> list[Frame]:
+        if references is None:
+            return []
+        if isinstance(references, Frame):
+            return [references]
+        return list(references)
+
+    def advance_references(
+        self, references: "Frame | list[Frame] | None", record: FrameRecord, recon: Frame
+    ) -> list[Frame]:
+        """Fold one encoded frame into the reference list (most recent
+        first): I-frames reset the list — the GOP-independence rule that
+        makes per-GOP parallel encode splice-identical — and P-frames
+        push onto it, trimmed to ``n_ref_frames``."""
+        if record.frame_type == "I":
+            return [recon]
+        return [recon, *self._as_reference_list(references)][: self.n_ref_frames]
+
     def encode(self, sequence: Sequence) -> EncodeResult:
-        """Encode a whole sequence (frame 0 intra, rest inter)."""
+        """Encode a whole sequence (GOP openings intra, rest inter)."""
         writer = BitWriter()
         records: list[FrameRecord] = []
         reconstruction: list[Frame] = []
-        prev_recon: Frame | None = None
+        references: list[Frame] = []
         prev_field: MotionField | None = None
         for i, frame in enumerate(sequence):
             record, recon, prev_field = self.encode_frame_into(
-                writer, frame, i, prev_recon, prev_field
+                writer, frame, i, references, prev_field
             )
             records.append(record)
-            prev_recon = recon
+            references = self.advance_references(references, record, recon)
             if self.keep_reconstruction:
                 reconstruction.append(recon)
         return EncodeResult(
@@ -294,15 +412,24 @@ class Encoder:
 
     # -- frame coding ----------------------------------------------------
 
-    def _write_picture_header(self, writer: BitWriter, frame: Frame, frame_type: str) -> int:
+    def _write_picture_header(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        frame_type: str,
+        extended: bool = False,
+        active_refs: int = 1,
+    ) -> int:
         before = writer.bit_count
         geometry = frame.geometry
-        writer.write_bits(START_CODE, START_CODE_BITS)
+        writer.write_bits(START_CODE_EXT if extended else START_CODE, START_CODE_BITS)
         writer.write_bit(0 if frame_type == "I" else 1)
         writer.write_bits(self.qp, 5)
         writer.write_bits(self.estimator.p, 5)
         writer.write_bits(geometry.mb_rows, 8)
         writer.write_bits(geometry.mb_cols, 8)
+        if extended and frame_type == "P":
+            writer.write_bits(active_refs - 1, 3)
         return writer.bit_count - before
 
     def _encode_intra_frame(self, writer: BitWriter, frame: Frame) -> tuple[int, Frame, int]:
@@ -339,6 +466,214 @@ class Encoder:
                 recon_cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = recon_blocks[5]
         total = writer.bit_count - start_bits
         return total, Frame(recon_y, recon_cb, recon_cr, index=frame.index), coef_bits
+
+    def _encode_intra_pred_frame(self, writer: BitWriter, frame: Frame) -> tuple[int, Frame, int]:
+        """GOP-syntax I-frame: per-MB spatial prediction mode (2 bits),
+        then inter-style residual coding of the prediction error.
+
+        The mode decision is open-loop on the source luma (batched
+        :func:`intra_mode_cost_surfaces` or its scalar twin — integer
+        identical, so both ``use_engine`` settings emit the same
+        bytes); the prediction itself reads the reconstructed
+        neighbours the decoder will have.
+        """
+        start_bits = writer.bit_count
+        self._write_picture_header(writer, frame, "I", extended=True)
+        geometry = frame.geometry
+        if self.use_engine:
+            costs = intra_mode_cost_surfaces(frame.y)
+        else:
+            costs = intra_mode_costs_reference(frame.y)
+        modes = choose_intra_modes(costs)
+        recon_y = np.empty_like(frame.y)
+        recon_cb = np.empty_like(frame.cb)
+        recon_cr = np.empty_like(frame.cr)
+        coef_bits = 0
+        for r in range(geometry.mb_rows):
+            for c in range(geometry.mb_cols):
+                mode = int(modes[r, c])
+                writer.write_bits(mode, INTRA_MODE_BITS)
+                pred_y = intra_predict(recon_y, r, c, 16, mode)
+                pred_cb = intra_predict(recon_cb, r, c, 8, mode)
+                pred_cr = intra_predict(recon_cr, r, c, 8, mode)
+                cur_y = frame.luma_block(r, c).astype(np.float64)
+                cur_cb, cur_cr = frame.chroma_blocks(r, c)
+                residual = np.concatenate(
+                    [
+                        split_luma_blocks(cur_y - pred_y),
+                        (cur_cb.astype(np.float64) - pred_cb)[None],
+                        (cur_cr.astype(np.float64) - pred_cr)[None],
+                    ]
+                )
+                coefficients = forward_dct(residual)
+                coded = [code_inter_block(coefficients[k], self.qp) for k in range(6)]
+                cbpy = sum((1 << k) for k in range(4) if coded[k][0])
+                mcbpc = (2 if coded[4][0] else 0) | (1 if coded[5][0] else 0)
+                writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                writer.write_code(CBPY_TABLE.encode(cbpy))
+                for events, _ in coded:
+                    if events:
+                        coef_bits += write_events(writer, events)
+                recon_residual = inverse_dct(np.stack([rc for _, rc in coded]))
+                y0, x0 = 16 * r, 16 * c
+                cy0, cx0 = 8 * r, 8 * c
+                rec_y = np.clip(np.rint(join_luma_blocks(recon_residual[:4]) + pred_y), 0, 255)
+                rec_cb = np.clip(np.rint(recon_residual[4] + pred_cb), 0, 255)
+                rec_cr = np.clip(np.rint(recon_residual[5] + pred_cr), 0, 255)
+                recon_y[y0 : y0 + 16, x0 : x0 + 16] = rec_y.astype(np.uint8)
+                recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cb.astype(np.uint8)
+                recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cr.astype(np.uint8)
+        total = writer.bit_count - start_bits
+        return total, Frame(recon_y, recon_cb, recon_cr, index=frame.index), coef_bits
+
+    def _encode_inter_frame_multi(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        references: list[Frame],
+        prev_field: MotionField | None,
+    ) -> tuple[int, Frame, int, int, int, MotionField, SearchStats]:
+        """Multi-reference P-frame: search every active reference,
+        pick each macroblock's reference by minimal compensated-luma
+        SAD (ties toward the most recent — the engine's ``argmin`` and
+        the scalar strict-less loop agree by construction), and code an
+        exp-Golomb reference index per coded macroblock.
+        """
+        active = references[: self.n_ref_frames]
+        start_bits = writer.bit_count
+        self._write_picture_header(writer, frame, "P", extended=True, active_refs=len(active))
+        geometry = frame.geometry
+        rows, cols = geometry.mb_rows, geometry.mb_cols
+        planes = [ReferencePlane.wrap(ref.y) for ref in active]
+        fields: list[MotionField] = []
+        merged_stats = SearchStats()
+        for ref, plane in zip(active, planes):
+            f, stats = self.estimator.estimate(
+                frame.y, ref.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
+            )
+            fields.append(f)
+            merged_stats.merge(stats)
+        cur = frame.y.astype(np.int64)
+        engine = (
+            self.use_engine
+            and all(p is not None for p in planes)
+            and all(f.is_complete for f in fields)
+        )
+        if engine:
+            sads = np.empty((len(active), rows, cols), dtype=np.int64)
+            for k, (plane, f) in enumerate(zip(planes, fields)):
+                field_hx, field_hy = f.to_arrays()
+                pred = frame_mc_luma(plane, field_hx, field_hy).astype(np.int64)
+                sads[k] = np.abs(cur - pred).reshape(rows, 16, cols, 16).sum(axis=(1, 3))
+            choice = np.argmin(sads, axis=0)
+        else:
+            choice = np.zeros((rows, cols), dtype=np.int64)
+            for r in range(rows):
+                for c in range(cols):
+                    y0, x0 = 16 * r, 16 * c
+                    cur_block = cur[y0 : y0 + 16, x0 : x0 + 16]
+                    best_sad = None
+                    for k, f in enumerate(fields):
+                        mv = f.get(r, c)
+                        if mv is None:
+                            raise ValueError(f"motion field missing entry ({r}, {c})")
+                        pred = predict_block(active[k].y, y0, x0, mv, 16, 16).astype(np.int64)
+                        sad = int(np.abs(cur_block - pred).sum())
+                        if best_sad is None or sad < best_sad:
+                            best_sad = sad
+                            choice[r, c] = k
+        # The chosen per-MB vectors become one combined field: it feeds
+        # MVD prediction, whole-frame MC and the next frame's search.
+        field = MotionField(rows, cols)
+        for r in range(rows):
+            for c in range(cols):
+                mv = fields[int(choice[r, c])].get(r, c)
+                if mv is None:
+                    raise ValueError(f"motion field missing entry ({r}, {c})")
+                field.set(r, c, mv)
+        used = [int(k) for k in np.unique(choice)]
+        pred_planes: dict[int, tuple] = {}
+        if engine:
+            field_hx, field_hy = field.to_arrays()
+            for k in used:
+                chroma = ChromaReferencePlane.wrap(active[k].cb, active[k].cr)
+                if chroma is None:
+                    engine = False
+                    break
+                pred_planes[k] = (
+                    frame_mc_luma(planes[k], field_hx, field_hy),
+                    *chroma.mc_frame(field_hx, field_hy, self.estimator.p),
+                )
+        recon_y = np.empty_like(frame.y)
+        recon_cb = np.empty_like(frame.cb)
+        recon_cr = np.empty_like(frame.cr)
+        coded_field = MotionField(rows, cols)
+        skipped = 0
+        mv_bits_total = 0
+        coef_bits_total = 0
+        for r in range(rows):
+            for c in range(cols):
+                k = int(choice[r, c])
+                mv = field.get(r, c)
+                y0, x0 = 16 * r, 16 * c
+                cy0, cx0 = 8 * r, 8 * c
+                if engine:
+                    plane_y, plane_cb, plane_cr = pred_planes[k]
+                    pred_y = plane_y[y0 : y0 + 16, x0 : x0 + 16].astype(np.float64)
+                    pred_cb = plane_cb[cy0 : cy0 + 8, cx0 : cx0 + 8].astype(np.float64)
+                    pred_cr = plane_cr[cy0 : cy0 + 8, cx0 : cx0 + 8].astype(np.float64)
+                else:
+                    ref = active[k]
+                    pred_y = predict_block(ref.y, y0, x0, mv, 16, 16).astype(np.float64)
+                    pred_cb = predict_chroma_block(ref.cb, cy0, cx0, mv, self.estimator.p).astype(
+                        np.float64
+                    )
+                    pred_cr = predict_chroma_block(ref.cr, cy0, cx0, mv, self.estimator.p).astype(
+                        np.float64
+                    )
+                cur_y = frame.luma_block(r, c).astype(np.float64)
+                cur_cb, cur_cr = frame.chroma_blocks(r, c)
+                residual = np.concatenate(
+                    [
+                        split_luma_blocks(cur_y - pred_y),
+                        (cur_cb.astype(np.float64) - pred_cb)[None],
+                        (cur_cr.astype(np.float64) - pred_cr)[None],
+                    ]
+                )
+                coefficients = forward_dct(residual)
+                coded = [code_inter_block(coefficients[k2], self.qp) for k2 in range(6)]
+                cbpy = sum((1 << k2) for k2 in range(4) if coded[k2][0])
+                mcbpc = (2 if coded[4][0] else 0) | (1 if coded[5][0] else 0)
+                if mv.is_zero and cbpy == 0 and mcbpc == 0 and k == 0:
+                    # Skip implies reference 0 and a zero vector, same
+                    # as the single-reference COD semantics.
+                    writer.write_bit(1)
+                    skipped += 1
+                    coded_field.set(r, c, MotionVector.zero())
+                    recon_y[y0 : y0 + 16, x0 : x0 + 16] = pred_y.astype(np.uint8)
+                    recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cb.astype(np.uint8)
+                    recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cr.astype(np.uint8)
+                    continue
+                writer.write_bit(0)  # COD: coded
+                writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                writer.write_code(CBPY_TABLE.encode(cbpy))
+                writer.write_ue(k)
+                predictor = predict_mv(coded_field, r, c)
+                mv_bits_total += write_mvd(writer, mv, predictor)
+                coded_field.set(r, c, mv)
+                for events, _ in coded:
+                    if events:
+                        coef_bits_total += write_events(writer, events)
+                recon_residual = inverse_dct(np.stack([rc for _, rc in coded]))
+                rec_y = np.clip(np.rint(join_luma_blocks(recon_residual[:4]) + pred_y), 0, 255)
+                rec_cb = np.clip(np.rint(recon_residual[4] + pred_cb), 0, 255)
+                rec_cr = np.clip(np.rint(recon_residual[5] + pred_cr), 0, 255)
+                recon_y[y0 : y0 + 16, x0 : x0 + 16] = rec_y.astype(np.uint8)
+                recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cb.astype(np.uint8)
+                recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cr.astype(np.uint8)
+        total = writer.bit_count - start_bits
+        recon = Frame(recon_y, recon_cb, recon_cr, index=frame.index)
+        return total, recon, skipped, mv_bits_total, coef_bits_total, field, merged_stats
 
     def _encode_inter_frame(
         self,
@@ -443,6 +778,8 @@ def encode_sequence(
     keep_reconstruction: bool = False,
     use_engine: bool = True,
     bitstream_version: int = 1,
+    i_period: int | None = None,
+    n_ref_frames: int = 1,
 ) -> EncodeResult:
     """One-call convenience wrapper around :class:`Encoder`.
 
@@ -459,5 +796,7 @@ def encode_sequence(
         keep_reconstruction=keep_reconstruction,
         use_engine=use_engine,
         bitstream_version=bitstream_version,
+        i_period=i_period,
+        n_ref_frames=n_ref_frames,
     )
     return encoder.encode(sequence)

@@ -1,0 +1,172 @@
+"""GOP benchmark: per-GOP parallel encode speedup + random access.
+
+``i_Period`` turns an encode into independent GOP units
+(:mod:`repro.parallel.gop`), which is the encoder-side twin of the
+frame-parallel symbol parse: the serial and parallel encoders must emit
+byte-identical streams, and the only interesting number is wall-clock.
+This benchmark pins the identity, measures the speedup, and exercises
+the decoder's random access on the same stream:
+
+* **encode identity** — ``encode_sequence_parallel(jobs=N)`` vs the
+  serial ``Encoder``, byte-for-byte (the splice correctness gate);
+* **encode timing** — serial vs ``jobs`` workers, best-of-``rounds``
+  (on a single-core CI box the speedup is an honest ~1.0 and the
+  regression gate knows not to gate it — the ``gop_`` prefix);
+* **random access** — decoding from every I-frame via
+  ``decode_bitstream(start_frame=k)`` must reproduce the full decode's
+  tail bit-identically;
+* **stream shape** — the intra/inter bit split and keyframe count, the
+  rate cost ``i_Period`` buys random access with.
+
+``runner gop-encode`` / ``runner seek-decode`` are the CLI faces;
+``benchmarks/test_bench_gop.py`` records ``BENCH_gop.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.codec.decoder import FrameIndex, decode_bitstream
+from repro.codec.encoder import Encoder
+from repro.parallel.gop import encode_sequence_parallel
+from repro.video.synthesis.sequences import make_sequence
+
+# Re-exported for the runner's --json flag (same merge convention).
+from repro.experiments.decode_bench import write_records  # noqa: F401
+from repro.experiments.stream_bench import _best_of
+
+
+@dataclass(frozen=True)
+class GopBenchResult:
+    """One GOP benchmark's outcome."""
+
+    sequence: str
+    frames: int
+    qp: int
+    i_period: int
+    n_ref_frames: int
+    jobs: int
+    bitstream_bytes: int
+    keyframes: int
+    serial_encode_ms: float
+    parallel_encode_ms: float
+    #: Parallel splice == serial stream, byte for byte.
+    encode_identical: bool
+    #: Every I-frame seek reproduced the full decode's tail.
+    seek_identical: bool
+    #: Bits spent in I-frames / total bits — what random access costs.
+    intra_bits_fraction: float
+    machine_cpu_count: int
+
+    @property
+    def identical(self) -> bool:
+        """The CI gate: splice identity and seek identity both held."""
+        return self.encode_identical and self.seek_identical
+
+    @property
+    def parallel_speedup(self) -> float:
+        return self.serial_encode_ms / self.parallel_encode_ms
+
+    def records(self) -> dict[str, float]:
+        """Payload for ``BENCH_gop.json`` (timings ``_ms``, gated ratio
+        contains ``speedup``; the ``gop_`` prefix tells the regression
+        gate to skip speedup gating on single-core machines)."""
+        return {
+            "gop_serial_encode_ms": self.serial_encode_ms,
+            "gop_parallel_encode_ms": self.parallel_encode_ms,
+            "gop_parallel_encode_speedup": self.parallel_speedup,
+            "gop_intra_bits_fraction": self.intra_bits_fraction,
+            "gop_frames": float(self.frames),
+            "gop_keyframes": float(self.keyframes),
+            "machine_cpu_count": float(self.machine_cpu_count),
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"gop bench: {self.sequence}, {self.frames} frames, qp={self.qp}, "
+            f"i_period={self.i_period}, n_ref={self.n_ref_frames}, "
+            f"{self.bitstream_bytes} bytes (v2), {self.keyframes} keyframes\n"
+            f"  parallel splice byte-identical: {self.encode_identical}; "
+            f"every-keyframe seek bit-identical: {self.seek_identical}\n"
+            f"  intra bits fraction: {self.intra_bits_fraction:.1%}\n"
+            f"  encode: serial {self.serial_encode_ms:.1f} ms vs --jobs {self.jobs} "
+            f"{self.parallel_encode_ms:.1f} ms -> {self.parallel_speedup:.2f}x "
+            f"({self.machine_cpu_count} cpu)"
+        )
+
+
+def run_gop_bench(
+    sequence: str = "foreman",
+    frames: int = 12,
+    qp: int = 16,
+    estimator: str = "tss",
+    seed: int = 0,
+    rounds: int = 3,
+    i_period: int = 3,
+    n_ref_frames: int = 1,
+    jobs: int = 2,
+    clip=None,
+) -> GopBenchResult:
+    """Encode a synthetic clip with GOP structure serially and per-GOP
+    in parallel; verify splice identity, verify seek-from-every-keyframe
+    identity, then time both encode paths best-of-``rounds``."""
+    if clip is None:
+        clip = make_sequence(sequence, frames=frames, seed=seed)
+    frames = len(clip)
+
+    def encode_serial():
+        return Encoder(
+            estimator=estimator,
+            qp=qp,
+            keep_reconstruction=False,
+            bitstream_version=2,
+            i_period=i_period,
+            n_ref_frames=n_ref_frames,
+        ).encode(clip)
+
+    def encode_parallel():
+        return encode_sequence_parallel(
+            clip,
+            qp=qp,
+            estimator=estimator,
+            i_period=i_period,
+            n_ref_frames=n_ref_frames,
+            jobs=jobs,
+        )
+
+    serial = encode_serial()
+    parallel = encode_parallel()
+    encode_identical = parallel.bitstream == serial.bitstream
+
+    full = decode_bitstream(serial.bitstream)
+    index = FrameIndex.scan(serial.bitstream)
+    keyframe_list = index.keyframes(serial.bitstream)
+    seek_identical = True
+    for kf in keyframe_list:
+        tail = decode_bitstream(serial.bitstream, start_frame=kf)
+        if not (len(tail) == len(full) - kf and all(a == b for a, b in zip(tail, full[kf:]))):
+            seek_identical = False
+
+    intra_bits = sum(r.bits for r in serial.frames if r.frame_type == "I")
+    intra_bits_fraction = intra_bits / max(serial.total_bits, 1)
+
+    serial_s = _best_of(encode_serial, rounds)
+    parallel_s = _best_of(encode_parallel, rounds)
+
+    return GopBenchResult(
+        sequence=serial.name,
+        frames=frames,
+        qp=qp,
+        i_period=i_period,
+        n_ref_frames=n_ref_frames,
+        jobs=jobs,
+        bitstream_bytes=len(serial.bitstream),
+        keyframes=len(keyframe_list),
+        serial_encode_ms=serial_s * 1000.0,
+        parallel_encode_ms=parallel_s * 1000.0,
+        encode_identical=encode_identical,
+        seek_identical=seek_identical,
+        intra_bits_fraction=intra_bits_fraction,
+        machine_cpu_count=os.cpu_count() or 1,
+    )

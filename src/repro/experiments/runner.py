@@ -18,6 +18,10 @@ Usage::
     python -m repro.experiments.runner stream-bench --json BENCH_stream.json
     python -m repro.experiments.runner decode-bench --bitstream-version 2 --jobs 2 --shm
     python -m repro.experiments.runner transport-bench --json BENCH_transport.json
+    python -m repro.experiments.runner gop-encode --frames 10 --i-period 5 --jobs 2 \\
+        --out stream.v2
+    python -m repro.experiments.runner seek-decode stream.v2 --frame 5 --verify
+    python -m repro.experiments.runner gop-bench --json BENCH_gop.json
 
 Each paper subcommand prints the same rows/series the corresponding
 table or figure reports; ``decode-bench`` runs an encode→decode round
@@ -34,7 +38,15 @@ bitstream as pictures close; ``stream-decode`` pushes a bitstream file
 (or stdin) through a bounded-memory decode session in fixed-size chunks
 and optionally re-decodes the whole buffer to gate bit-identity
 (``--verify``, the CI smoke); ``stream-bench`` times push vs
-whole-buffer decode and records ``BENCH_stream.json``.  ``--pipeline``
+whole-buffer decode and records ``BENCH_stream.json``.
+
+The GOP subcommands drive the stream structure layer: ``gop-encode``
+encodes with ``i_Period`` I-frames and optional multi-reference
+P-frames — serially, or per-GOP across workers with a byte-identical
+splice; ``seek-decode`` random-accesses a v2 stream at an I-frame and
+optionally gates the tail against the full decode; ``gop-bench`` times
+serial vs parallel GOP encode and records ``BENCH_gop.json``.
+``--pipeline``
 (on ``stream-decode`` and ``stream-bench``) overlaps symbol parse and
 reconstruction on a worker thread or spawned process; ``--shm`` (on
 ``decode-bench``) and ``transport-bench`` exercise the shared-memory
@@ -188,11 +200,17 @@ def cmd_stream_encode(args: argparse.Namespace) -> int:
     from repro.streaming import EncodeSession
     from repro.video.yuv_io import iter_yuv_frames
 
-    session = EncodeSession(
-        estimator=args.estimator,
-        qp=args.qp,
-        bitstream_version=args.bitstream_version,
-    )
+    try:
+        session = EncodeSession(
+            estimator=args.estimator,
+            qp=args.qp,
+            bitstream_version=args.bitstream_version,
+            i_period=args.i_period,
+            n_ref_frames=args.n_ref_frames,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     frames = iter_yuv_frames(args.from_yuv, args.geometry, max_frames=args.max_frames)
     try:
         if args.out == "-":
@@ -355,6 +373,135 @@ def cmd_transport_bench(args: argparse.Namespace) -> int:
         return 1
     if not result.no_leaks:
         print("ERROR: shared-memory segments leaked in /dev/shm", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_gop_encode(args: argparse.Namespace) -> int:
+    """Encode one clip with GOP structure — serially, or per-GOP across
+    workers (``--jobs``) with the spliced stream byte-identical to the
+    serial encoder's.  Deterministic summary on stdout, so CI can diff
+    serial and parallel runs."""
+    from repro.codec.encoder import Encoder
+    from repro.parallel import encode_sequence_parallel
+    from repro.video.synthesis.sequences import make_sequence
+
+    if args.sequences and len(args.sequences) > 1:
+        print("error: gop-encode takes a single --sequences value", file=sys.stderr)
+        return 2
+    if args.qps and len(args.qps) > 1:
+        print("error: gop-encode takes a single --qps value", file=sys.stderr)
+        return 2
+    sequence = (args.sequences or ["foreman"])[0]
+    qp = (args.qps or [16])[0]
+    clip = make_sequence(sequence, frames=args.frames, seed=args.seed)
+    try:
+        if args.jobs > 1:
+            result = encode_sequence_parallel(
+                clip,
+                qp=qp,
+                estimator=args.estimator,
+                i_period=args.i_period,
+                n_ref_frames=args.n_ref_frames,
+                jobs=args.jobs,
+                progress=_progress if args.verbose else None,
+            )
+        else:
+            result = Encoder(
+                estimator=args.estimator,
+                qp=qp,
+                keep_reconstruction=False,
+                bitstream_version=2,
+                i_period=args.i_period,
+                n_ref_frames=args.n_ref_frames,
+            ).encode(clip)
+        with open(args.out, "wb") as sink:
+            sink.write(result.bitstream)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    types = "".join(r.frame_type for r in result.frames)
+    print(
+        f"gop-encode: {sequence}, {len(result.frames)} frames, qp={qp}, "
+        f"i_period={args.i_period}, n_ref={args.n_ref_frames} -> "
+        f"{len(result.bitstream)} bytes (v2)"
+    )
+    print(f"  frame types: {types}")
+    print(f"  keyframes: {list(result.keyframes)}")
+    return 0
+
+
+def cmd_seek_decode(args: argparse.Namespace) -> int:
+    """Random access: decode a v2 stream from an I-frame onward, and
+    optionally gate the tail against the full decode (``--verify``)."""
+    from repro.codec.decoder import FrameIndex, decode_bitstream, detect_version
+
+    try:
+        with open(args.input, "rb") as source:
+            bitstream = source.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if detect_version(bitstream) != 2:
+        print("error: seek-decode needs a version-2 stream (FrameIndex)", file=sys.stderr)
+        return 1
+    index = FrameIndex.scan(bitstream)
+    keyframes = index.keyframes(bitstream)
+    types = "".join(index.frame_types(bitstream))
+    frame = args.frame
+    if frame is None:
+        # Default to the middle keyframe — the interesting seek target
+        # (0 is just a full decode).
+        frame = keyframes[len(keyframes) // 2]
+    print(f"seek-decode: {len(index)} frames ({types}), keyframes {list(keyframes)}")
+    try:
+        tail = decode_bitstream(bitstream, start_frame=frame)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"  decoded {len(tail)} frames from keyframe {frame}")
+    if args.verify:
+        full = decode_bitstream(bitstream)
+        identical = len(tail) == len(full) - frame and all(
+            a == b for a, b in zip(tail, full[frame:])
+        )
+        print(f"  tail bit-identical to full decode: {identical}")
+        if not identical:
+            print("ERROR: seek decode diverged from the full decode", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_gop_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.gop_bench import run_gop_bench
+
+    if args.sequences and len(args.sequences) > 1:
+        print("error: gop-bench takes a single --sequences value", file=sys.stderr)
+        return 2
+    if args.qps and len(args.qps) > 1:
+        print("error: gop-bench takes a single --qps value", file=sys.stderr)
+        return 2
+    result = run_gop_bench(
+        sequence=(args.sequences or ["foreman"])[0],
+        frames=args.frames,
+        qp=(args.qps or [16])[0],
+        estimator=args.estimator,
+        seed=args.seed,
+        rounds=args.rounds,
+        i_period=args.i_period,
+        n_ref_frames=args.n_ref_frames,
+        jobs=max(args.jobs, 2),
+    )
+    print(result.as_text())
+    if args.json:
+        path = Path(args.json)
+        write_records(result.records(), path)
+        print(f"recorded -> {path}", file=sys.stderr)
+    if not result.encode_identical:
+        print("ERROR: parallel GOP splice diverged from the serial encode", file=sys.stderr)
+        return 1
+    if not result.seek_identical:
+        print("ERROR: keyframe seek diverged from the full decode", file=sys.stderr)
         return 1
     return 0
 
@@ -525,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-frames", type=int, default=None, metavar="N",
         help="encode at most N frames of the file",
     )
+    stream_encode.add_argument(
+        "--i-period", type=int, default=None, metavar="N",
+        help="open a new GOP (I-frame) every N frames (default: only frame 0)",
+    )
+    stream_encode.add_argument(
+        "--n-ref-frames", type=int, default=1, metavar="N",
+        help="reference frames each P-frame may select from (default 1)",
+    )
     stream_decode = sub.add_parser(
         "stream-decode",
         help="push-decode a v2 bitstream in fixed-size chunks (bounded memory)",
@@ -596,6 +751,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="merge the measurements into this JSON file (e.g. BENCH_transport.json)",
     )
+    gop_encode = sub.add_parser(
+        "gop-encode", parents=[common],
+        help="encode with GOP structure (i_Period I-frames, multi-reference); "
+        "--jobs N encodes GOPs in parallel, byte-identical to serial",
+    )
+    gop_encode.add_argument(
+        "--out", required=True, metavar="PATH", help="bitstream output file",
+    )
+    gop_encode.add_argument(
+        "--i-period", type=int, required=True, metavar="N",
+        help="open a new GOP (I-frame) every N frames",
+    )
+    gop_encode.add_argument(
+        "--n-ref-frames", type=int, default=1, metavar="N",
+        help="reference frames each P-frame may select from (default 1)",
+    )
+    gop_encode.add_argument(
+        "--estimator", default="tss", metavar="NAME",
+        help="registry name of the motion search (default tss)",
+    )
+    seek = sub.add_parser(
+        "seek-decode",
+        help="random access: decode a v2 stream from an I-frame onward",
+    )
+    seek.add_argument("input", help="bitstream file")
+    seek.add_argument(
+        "--frame", type=int, default=None, metavar="N",
+        help="keyframe to seek to (default: the middle keyframe)",
+    )
+    seek.add_argument(
+        "--verify", action="store_true",
+        help="also decode the whole stream and fail unless the seeked tail "
+        "is bit-identical (the CI smoke)",
+    )
+    gop_bench = sub.add_parser(
+        "gop-bench", parents=[common],
+        help="per-GOP parallel encode speedup + keyframe-seek identity",
+    )
+    gop_bench.add_argument(
+        "--estimator", default="tss", metavar="NAME",
+        help="registry name of the search used for the encodes (default tss)",
+    )
+    gop_bench.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="timing repetitions per path, best-of (default 3)",
+    )
+    gop_bench.add_argument(
+        "--i-period", type=int, default=3, metavar="N",
+        help="GOP length in frames (default 3)",
+    )
+    gop_bench.add_argument(
+        "--n-ref-frames", type=int, default=1, metavar="N",
+        help="reference frames each P-frame may select from (default 1)",
+    )
+    gop_bench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="merge the measurements into this JSON file (e.g. BENCH_gop.json)",
+    )
     return parser
 
 
@@ -621,6 +834,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_stream_bench(args)
     elif args.command == "transport-bench":
         return cmd_transport_bench(args)
+    elif args.command == "gop-encode":
+        return cmd_gop_encode(args)
+    elif args.command == "seek-decode":
+        return cmd_seek_decode(args)
+    elif args.command == "gop-bench":
+        return cmd_gop_bench(args)
     return 0
 
 

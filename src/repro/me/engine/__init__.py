@@ -40,11 +40,13 @@ implementations it replaces; ``tests/test_engine.py`` and
 
 from repro.me.engine.chroma_plane import ChromaReferencePlane
 from repro.me.engine.kernels import (
+    INTRA_UNAVAILABLE_COST,
     SURFACE_SENTINEL,
     FrameSadSurfaces,
     evaluate_candidates_batch,
     frame_ring_sad,
     frame_sad_surfaces,
+    intra_mode_cost_surfaces,
     refine_half_pel_batch,
     select_minima,
     supports_vectorized_search,
@@ -60,6 +62,7 @@ from repro.me.engine.reconstruction import (
 from repro.me.engine.reference_plane import ReferencePlane
 
 __all__ = [
+    "INTRA_UNAVAILABLE_COST",
     "SURFACE_SENTINEL",
     "ChromaReferencePlane",
     "FrameSadSurfaces",
@@ -71,6 +74,7 @@ __all__ = [
     "frame_mc_luma",
     "frame_ring_sad",
     "frame_sad_surfaces",
+    "intra_mode_cost_surfaces",
     "refine_half_pel_batch",
     "select_minima",
     "supports_vectorized_search",

@@ -390,6 +390,43 @@ def refine_half_pel_batch(
     return best_hx, best_hy, best_sad, valid.sum(axis=0).astype(np.int64)
 
 
+#: Cost sentinel for intra modes whose neighbours fall outside the
+#: picture (vertical on the top macroblock row, horizontal on the left
+#: column).  Far above any real SAD (a 16x16 uint8 block caps at
+#: 255 * 256) yet safely below int64 overflow under sums/compares.
+INTRA_UNAVAILABLE_COST = 1 << 62
+
+
+def intra_mode_cost_surfaces(y: np.ndarray, block_size: int = 16) -> np.ndarray:
+    """Open-loop SAD of every intra prediction mode for every block.
+
+    Returns a ``(3, rows, cols)`` ``int64`` surface ordered DC /
+    vertical / horizontal (:mod:`repro.codec.intra` mode indices),
+    computed against the *source* luma — the batched twin of
+    :func:`repro.codec.intra.intra_mode_costs_reference`, integer-exact
+    with it so the engine and seed encoder paths choose identical modes
+    (and therefore emit identical bytes).  Unavailable modes carry
+    :data:`INTRA_UNAVAILABLE_COST`.
+    """
+    s = block_size
+    rows, cols = y.shape[0] // s, y.shape[1] // s
+    cur = y.astype(np.int64)
+    blocks = cur.reshape(rows, s, cols, s)
+    costs = np.full((3, rows, cols), INTRA_UNAVAILABLE_COST, dtype=np.int64)
+    costs[0] = np.abs(blocks - 128).sum(axis=(1, 3))
+    if rows > 1:
+        # Row directly above each block below the top row: plane rows
+        # s-1, 2s-1, ... broadcast down the block height.
+        above = cur[s - 1 :: s][: rows - 1].reshape(rows - 1, 1, cols, s)
+        costs[1, 1:] = np.abs(blocks[1:] - above).sum(axis=(1, 3))
+    if cols > 1:
+        # Column directly left of each block right of the left column,
+        # broadcast across the block width.
+        left = cur[:, s - 1 :: s][:, : cols - 1].reshape(rows, s, cols - 1, 1)
+        costs[2, :, 1:] = np.abs(blocks[:, :, 1:] - left).sum(axis=(1, 3))
+    return costs
+
+
 def frame_ring_sad(
     current: np.ndarray,
     reference: np.ndarray | ReferencePlane,

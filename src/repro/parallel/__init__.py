@@ -19,10 +19,12 @@ byte-identical for any worker count; the golden tests in
 ``tests/test_parallel.py`` pin that property.
 """
 
+from repro.parallel.gop import encode_sequence_parallel, split_gops
 from repro.parallel.jobs import (
     DecodeJob,
     EncodeJob,
     Fig4PairJob,
+    GopEncodeJob,
     JobSpec,
     ParseFrameJob,
     SweepJob,
@@ -36,13 +38,16 @@ __all__ = [
     "DecodeJob",
     "EncodeJob",
     "Fig4PairJob",
+    "GopEncodeJob",
     "JobSpec",
     "ParseFrameJob",
     "SweepJob",
     "borrowed_renders",
     "clear_render_cache",
     "derive_job_seeds",
+    "encode_sequence_parallel",
     "execute_job",
     "rendered_source",
     "run_jobs",
+    "split_gops",
 ]

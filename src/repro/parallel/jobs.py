@@ -275,6 +275,80 @@ class ParseFrameJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class GopEncodeJob(JobSpec):
+    """Encode one GOP (an I-frame and its dependent P-frames) into a
+    self-contained version-2 byte run.
+
+    An I-frame resets the reference list *and* the predictor-seeding
+    motion field, so a GOP shares no state with its predecessors —
+    which is what lets :func:`repro.parallel.gop.encode_sequence_parallel`
+    encode GOPs in worker processes and splice the returned byte runs
+    into a stream byte-identical to the serial encoder's.  ``start`` is
+    the GOP's position in the full sequence; the in-job positions
+    ``start..start+len-1`` reproduce the serial encoder's frame-type
+    decisions because a GOP never outlives ``i_period`` frames.
+
+    Frames travel as raw plane bytes (hashable, pickle-cheap); workers
+    rebuild them with the spec's geometry.
+    """
+
+    width: int
+    height: int
+    start: int
+    #: One ``(y, cb, cr, frame_index)`` tuple of plane bytes per frame.
+    planes: tuple[tuple[bytes, bytes, bytes, int], ...]
+    estimator: str
+    qp: int
+    i_period: int
+    n_ref_frames: int = 1
+    bitstream_version: int = 2
+    use_engine: bool = True
+    estimator_kwargs: tuple = ()
+
+    def describe(self) -> str:
+        return f"gop @{self.start} ({len(self.planes)} frames)"
+
+    def _frames(self):
+        from repro.video.frame import Frame
+
+        w, h = self.width, self.height
+        cw, ch = w // 2, h // 2
+        for y, cb, cr, index in self.planes:
+            yield Frame(
+                np.frombuffer(y, dtype=np.uint8).reshape(h, w),
+                np.frombuffer(cb, dtype=np.uint8).reshape(ch, cw),
+                np.frombuffer(cr, dtype=np.uint8).reshape(ch, cw),
+                index=index,
+            )
+
+    def run(self, rng: np.random.Generator | None = None):
+        from repro.codec.bitstream import BitWriter
+        from repro.codec.encoder import Encoder
+
+        encoder = Encoder(
+            estimator=self.estimator,
+            qp=self.qp,
+            estimator_kwargs=dict(self.estimator_kwargs),
+            keep_reconstruction=False,
+            use_engine=self.use_engine,
+            bitstream_version=self.bitstream_version,
+            i_period=self.i_period,
+            n_ref_frames=self.n_ref_frames,
+        )
+        writer = BitWriter()
+        records = []
+        references: list = []
+        prev_field = None
+        for offset, frame in enumerate(self._frames()):
+            record, recon, prev_field = encoder.encode_frame_into(
+                writer, frame, self.start + offset, references, prev_field
+            )
+            references = encoder.advance_references(references, record, recon)
+            records.append(record)
+        return writer.getvalue(), tuple(records)
+
+
+@dataclass(frozen=True)
 class Fig4PairJob(JobSpec):
     """One frame pair of the Fig. 3 rig: render the rig (memoized per
     process), run batched FSBM over the pair, classify every block."""
@@ -307,6 +381,7 @@ __all__ = [
     "DecodeJob",
     "EncodeJob",
     "Fig4PairJob",
+    "GopEncodeJob",
     "JobSpec",
     "ParseFrameJob",
     "SweepJob",

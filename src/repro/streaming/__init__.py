@@ -21,7 +21,8 @@ directions incremental without touching the wire format or the math:
 * :class:`StreamEncoder` — pulls frames from any iterator (e.g.
   :func:`repro.video.yuv_io.iter_yuv_frames`, so a multi-gigabyte YUV
   file encodes without materializing a sequence), runs the closed loop
-  one reference deep and yields encoded bytes per picture, byte-identical
+  over the reference list (one frame, or up to ``n_ref_frames`` under
+  the GOP syntax) and yields encoded bytes per picture, byte-identical
   to the whole-sequence encoder in both wire formats;
 * :class:`ParseStage` — the pipelined parse worker (thread or spawned
   process) behind ``StreamDecoder(pipeline=...)``: frame *n+1*'s

@@ -46,6 +46,7 @@ from repro.codec.decoder import (
     parse_picture,
     reconstruct_picture,
 )
+from repro.codec.encoder import MAX_REF_FRAMES
 from repro.streaming.scanner import ScanState
 from repro.video.frame import Frame
 
@@ -103,7 +104,11 @@ class StreamDecoder:
         self._on_frame = on_frame
         self._scanner = ScanState(keep_payloads=True)
         self._ready: deque[Frame] = deque()
-        self._reference: Frame | None = None
+        #: Decoded reference list, most recent first; I-frames reset it.
+        self._references: list[Frame] = []
+        #: Positions of the I-frames decoded so far — the stream's
+        #: random-access points, reported by ``SessionStats``.
+        self.keyframes: list[int] = []
         self._frame_index = 0
         self._closed = False
         #: Peak bytes held across the scanner accumulator, completed-but-
@@ -253,9 +258,7 @@ class StreamDecoder:
             reader = BitReader(payload)
             parsed = parse_picture(reader)
             check_frame_length(reader, len(payload))
-            frame = reconstruct_picture(parsed, self._reference, self._frame_index)
-            self._reference = frame
-            self._frame_index += 1
+            frame = self._note_frame(parsed)
             if self._on_frame is not None:
                 self._on_frame(frame)
             else:
@@ -289,15 +292,26 @@ class StreamDecoder:
                 self._stage_error = value
                 self._teardown_stage()
                 raise value
-            frame = reconstruct_picture(value, self._reference, self._frame_index)
-            self._reference = frame
-            self._frame_index += 1
+            frame = self._note_frame(value)
             if self._on_frame is not None:
                 self._on_frame(frame)
             else:
                 self._ready.append(frame)
         if self._closed and not self._in_flight_sizes:
             self._teardown_stage()
+
+    def _note_frame(self, parsed) -> Frame:
+        """Reconstruct one parsed picture against the running reference
+        list and fold it back in (I-frames reset the list and mark a
+        random-access point)."""
+        frame = reconstruct_picture(parsed, self._references, self._frame_index)
+        if parsed.header.frame_type == "I":
+            self.keyframes.append(self._frame_index)
+            self._references = [frame]
+        else:
+            self._references = [frame, *self._references][:MAX_REF_FRAMES]
+        self._frame_index += 1
+        return frame
 
     def _ensure_stage(self):
         if self._stage is None:

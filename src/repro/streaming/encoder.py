@@ -6,8 +6,9 @@ whole-sequence :class:`~repro.codec.encoder.Encoder` runs
 frames from any iterator and emits bytes as each picture closes, so an
 arbitrarily long source — e.g. a multi-gigabyte YUV file through
 :func:`repro.video.yuv_io.iter_yuv_frames` — encodes while holding only
-the closed loop's working set: the current frame, the one reconstructed
-reference the next search runs against, and the previous motion field.
+the closed loop's working set: the current frame, the reconstructed
+reference list (one frame, or up to ``n_ref_frames`` under the GOP
+syntax) and the previous motion field.
 Because both encoders execute the same step with the same state
 threading, the concatenated streamed chunks are byte-identical to the
 whole-sequence bitstream in both wire formats (``tests/test_streaming.py``
@@ -52,6 +53,8 @@ class StreamEncoder:
         estimator_kwargs: dict | None = None,
         use_engine: bool = True,
         bitstream_version: int = 1,
+        i_period: int | None = None,
+        n_ref_frames: int = 1,
     ) -> None:
         self._encoder = Encoder(
             estimator=estimator,
@@ -60,8 +63,15 @@ class StreamEncoder:
             keep_reconstruction=False,
             use_engine=use_engine,
             bitstream_version=bitstream_version,
+            i_period=i_period,
+            n_ref_frames=n_ref_frames,
         )
         self.records: list[FrameRecord] = []
+
+    @property
+    def keyframes(self) -> tuple[int, ...]:
+        """Positions of the I-frames emitted so far."""
+        return tuple(i for i, r in enumerate(self.records) if r.frame_type == "I")
 
     @property
     def qp(self) -> int:
@@ -81,9 +91,10 @@ class StreamEncoder:
         (plus, for version 1, a final padding chunk when the last
         picture ends mid-byte).
 
-        The closed loop runs one reference deep: after each picture only
-        its reconstruction and motion field survive to the next
-        iteration.  All frames must share one geometry, mirroring the
+        The closed loop holds only the reference list and motion field
+        between pictures (an I-frame — forced at every ``i_period``-th
+        position — resets both).  All frames must share one geometry,
+        mirroring the
         :class:`~repro.video.sequence.Sequence` contract.
 
         Raises
@@ -93,7 +104,7 @@ class StreamEncoder:
             differs from the first one's.
         """
         writer = BitWriter()
-        prev_recon: Frame | None = None
+        references: list[Frame] = []
         prev_field = None
         geometry: FrameGeometry | None = None
         position = 0
@@ -104,9 +115,10 @@ class StreamEncoder:
                 raise ValueError(
                     f"mixed geometries in stream: {geometry} vs {frame.geometry}"
                 )
-            record, prev_recon, prev_field = self._encoder.encode_frame_into(
-                writer, frame, position, prev_recon, prev_field
+            record, recon, prev_field = self._encoder.encode_frame_into(
+                writer, frame, position, references, prev_field
             )
+            references = self._encoder.advance_references(references, record, recon)
             self.records.append(record)
             position += 1
             chunk = writer.drain()

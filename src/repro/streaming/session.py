@@ -30,7 +30,9 @@ class SessionStats:
     payload bytes that crossed a process boundary by value, and
     shared-memory handles that crossed instead.  Both stay zero unless
     the session runs a process-mode parse pipeline — in-process work
-    has no boundary to account for.
+    has no boundary to account for.  ``keyframes`` counts the session's
+    I-frames — more than one means the stream carries GOP structure
+    (``i_Period``) and supports mid-stream random access.
     """
 
     frames_in: int
@@ -42,6 +44,7 @@ class SessionStats:
     wall_s: float
     bytes_copied: int = 0
     handles_passed: int = 0
+    keyframes: int = 0
 
     def as_text(self) -> str:
         text = (
@@ -55,6 +58,8 @@ class SessionStats:
                 f", transport {self.bytes_copied} B copied / "
                 f"{self.handles_passed} handles"
             )
+        if self.keyframes > 1:
+            text += f", {self.keyframes} keyframes"
         return text
 
 
@@ -103,6 +108,7 @@ class DecodeSession:
             wall_s=time.perf_counter() - self._started,
             bytes_copied=self._decoder.bytes_copied,
             handles_passed=self._decoder.handles_passed,
+            keyframes=len(self._decoder.keyframes),
         )
 
 
@@ -122,6 +128,8 @@ class EncodeSession:
         estimator_kwargs: dict | None = None,
         use_engine: bool = True,
         bitstream_version: int = 1,
+        i_period: int | None = None,
+        n_ref_frames: int = 1,
     ) -> None:
         self._encoder = StreamEncoder(
             estimator=estimator,
@@ -129,6 +137,8 @@ class EncodeSession:
             estimator_kwargs=estimator_kwargs,
             use_engine=use_engine,
             bitstream_version=bitstream_version,
+            i_period=i_period,
+            n_ref_frames=n_ref_frames,
         )
         self._started = time.perf_counter()
         self._bytes_in = 0
@@ -164,4 +174,5 @@ class EncodeSession:
             buffered_bytes=0,
             peak_buffered_bytes=0,
             wall_s=time.perf_counter() - self._started,
+            keyframes=len(self._encoder.keyframes),
         )

@@ -69,6 +69,8 @@ class SharedParsedPicture:
     dc_levels: FrameHandle | None
     hx: FrameHandle | None
     hy: FrameHandle | None
+    modes: FrameHandle | None = None
+    ref_idx: FrameHandle | None = None
 
 
 def _frame_arrays(frame: Frame) -> list[np.ndarray]:
@@ -76,7 +78,8 @@ def _frame_arrays(frame: Frame) -> list[np.ndarray]:
 
 
 def _parsed_arrays(parsed: ParsedPicture) -> list[np.ndarray]:
-    return [a for a in (parsed.levels, parsed.dc_levels, parsed.hx, parsed.hy) if a is not None]
+    members = (parsed.levels, parsed.dc_levels, parsed.hx, parsed.hy, parsed.modes, parsed.ref_idx)
+    return [a for a in members if a is not None]
 
 
 def iter_arrays(value) -> list[np.ndarray]:
@@ -111,6 +114,8 @@ def share(value, place: Callable[[np.ndarray], FrameHandle]):
             dc_levels=None if value.dc_levels is None else place(value.dc_levels),
             hx=None if value.hx is None else place(value.hx),
             hy=None if value.hy is None else place(value.hy),
+            modes=None if value.modes is None else place(value.modes),
+            ref_idx=None if value.ref_idx is None else place(value.ref_idx),
         )
     if isinstance(value, (list, tuple)):
         return type(value)(share(item, place) for item in value)
@@ -155,6 +160,8 @@ def materialize(value, unlink: bool = True):
                 dc_levels=fetch(node.dc_levels),
                 hx=fetch(node.hx),
                 hy=fetch(node.hy),
+                modes=fetch(node.modes),
+                ref_idx=fetch(node.ref_idx),
             )
         if isinstance(node, (list, tuple)):
             return type(node)(rebuild(item) for item in node)
@@ -186,9 +193,8 @@ def handle_count(value) -> int:
     if isinstance(value, SharedFrame):
         return 3
     if isinstance(value, SharedParsedPicture):
-        return sum(
-            1 for h in (value.levels, value.dc_levels, value.hx, value.hy) if h is not None
-        )
+        members = (value.levels, value.dc_levels, value.hx, value.hy, value.modes, value.ref_idx)
+        return sum(1 for h in members if h is not None)
     if isinstance(value, (list, tuple)):
         return sum(handle_count(item) for item in value)
     return 0

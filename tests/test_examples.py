@@ -69,6 +69,14 @@ def test_transport(tmp_path):
     assert "/dev/shm leftovers: none" in proc.stdout
 
 
+def test_gop(tmp_path):
+    proc = run_example("gop.py", "--frames", "5", "--i-period", "2", "--jobs", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "frame types: IPIPI" in proc.stdout
+    assert "parallel splice byte-identical to serial: True" in proc.stdout
+    assert "tail bit-identical to full decode: True" in proc.stdout
+
+
 def test_custom_sequence(tmp_path):
     proc = run_example(
         "custom_sequence.py", "--outdir", str(tmp_path), "--frames", "4", "--qp", "20"
