@@ -23,8 +23,9 @@ Key classification, shared with the benchmark writers:
   They are reported (and kept in the baselines for trend reading) but
   only gate with ``--gate-absolute``, because a committed wall-clock
   number from one machine is noise on another;
-* anything else (``machine_*`` descriptors and other metadata) is
-  reported but never gates.
+* anything else (``machine_*`` descriptors, the ``backend`` provenance
+  stamps and other metadata, including non-numeric values) is reported
+  but never gates.
 
 One machine-shaped exception: ``parallel_*``, ``transport_*``,
 ``stream_pipeline_*`` and ``gop_*`` speedup keys compare a multi-worker
@@ -34,6 +35,13 @@ are reported as info instead of gated
 (``benchmarks/test_bench_parallel.py``, ``test_bench_transport.py``,
 ``test_bench_stream.py`` and ``test_bench_gop.py`` apply the same rule
 to their own hard asserts).
+
+Similarly, gated keys containing ``numba`` (the compiled-backend floors
+in ``BENCH_backend.json``) only gate when the fresh record says
+``machine_numba >= 1`` — on a machine without numba the corresponding
+benches skip, the keys are absent from the fresh record, and both the
+absence and the committed floors are reported as info instead of
+failing.  The numpy-row speedups in the same file gate unconditionally.
 
 Usage::
 
@@ -74,6 +82,11 @@ def classify(key: str) -> str | None:
     return None
 
 
+def _is_number(value) -> bool:
+    """Numeric record values gate; strings (and bools) are metadata."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def load(path: Path) -> dict[str, float]:
     try:
         data = json.loads(path.read_text())
@@ -96,14 +109,34 @@ def compare_file(
     print(f"\n== {name} (threshold {threshold:.0%}) ==")
     width = max((len(k) for k in baseline), default=10)
     single_core = float(fresh.get("machine_cpu_count", 2)) < 2
+    has_numba = float(fresh.get("machine_numba", 0) or 0) >= 1
     for key in sorted(baseline):
         base = baseline[key]
+        if not _is_number(base):
+            shown = fresh.get(key, "MISSING")
+            print(f"  {key:<{width}}  baseline {base!r}  fresh {shown!r}  (info)")
+            continue
+        kind = classify(key)
+        if kind is not None and "numba" in key and not has_numba:
+            shown = fresh.get(key, "skipped")
+            print(
+                f"  {key:<{width}}  baseline {base:10.3f}  fresh {shown}  "
+                "(info: no numba on this machine)"
+            )
+            continue
         if key not in fresh:
+            if kind is None:
+                # Metadata never gates, so its absence never fails —
+                # older records simply predate the key.
+                print(f"  {key:<{width}}  baseline {base:10.3f}  fresh    MISSING  (info)")
+                continue
             failures.append(f"{name}: key '{key}' missing from fresh record")
             print(f"  {key:<{width}}  baseline {base:10.3f}  fresh    MISSING  ** FAIL")
             continue
+        if not _is_number(fresh[key]):
+            print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {fresh[key]!r}  (info)")
+            continue
         new = float(fresh[key])
-        kind = classify(key)
         gates = kind == "higher" or (kind == "lower" and gate_absolute)
         if gates and single_core and key.startswith(MULTI_CORE_ONLY_PREFIXES):
             gates = False  # multi-worker vs serial is meaningless on one core

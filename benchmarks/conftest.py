@@ -36,6 +36,30 @@ def bench_frames() -> int:
     return int(os.environ.get("REPRO_BENCH_FRAMES", "9"))
 
 
+@pytest.fixture()
+def numba_backend():
+    """Pin the compiled numba kernel backend for one benchmark.
+
+    Skips — with a visible reason — when numba is not importable, so a
+    pure-NumPy environment shows the compiled benchmarks as skipped
+    rather than silently absent, and ``BENCH_backend.json`` simply
+    lacks the ``*_numba_*`` rows (``check_regression.py`` reports the
+    committed numba floors as info in that case).
+    """
+    from repro.kernels import numba_available, reset_backend, set_backend
+
+    if not numba_available():
+        pytest.skip(
+            "numba not installed — compiled-backend benchmark skipped "
+            "(pip install -r requirements-numba.txt to run it)"
+        )
+    backend = set_backend("numba")
+    try:
+        yield backend
+    finally:
+        reset_backend()
+
+
 @pytest.fixture(scope="session")
 def sequence_cache():
     """30 fps source renders shared across all benchmarks."""

@@ -281,6 +281,28 @@ class BitReader:
         self._accumulator &= (1 << self._acc_bits) - 1
         return symbol
 
+    # -- compiled-kernel seam --------------------------------------------
+    #
+    # The optional compiled VLC kernels (repro.kernels) parse from a
+    # read-only snapshot of the buffer and report how far they got; the
+    # two methods below are the whole hand-off surface, keeping this
+    # module numpy- and backend-free.
+
+    def cursor(self) -> "tuple[bytes, int]":
+        """``(buffer, bit_position)`` snapshot for an external parser."""
+        return self._data, self.bits_consumed
+
+    def advance_to(self, bit_pos: int) -> None:
+        """Move the cursor forward to an absolute bit position (as
+        consumed by an external parser started from :meth:`cursor`)."""
+        delta = bit_pos - self.bits_consumed
+        if delta < 0:
+            raise ValueError(
+                f"cannot rewind: cursor at bit {self.bits_consumed}, "
+                f"requested bit {bit_pos}"
+            )
+        self.skip_bits(delta)
+
     _UE_PEEK_BITS = 64
 
     def read_ue(self) -> int:

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.codec.bitstream import BitReader
 from repro.codec.dct import inverse_dct
+from repro.kernels import get_backend
 from repro.codec.encoder import (
     FRAME_LENGTH_BITS,
     FRAME_START_CODE,
@@ -403,13 +404,76 @@ def _parse_inter_body_fast(reader: BitReader, header: PictureHeader) -> ParsedPi
     )
 
 
+def _parse_body_compiled(reader: BitReader, header: PictureHeader) -> "ParsedPicture | None":
+    """Try the active backend's compiled picture-body parser.
+
+    Runs from a cursor snapshot, so ``None`` (no compiled parser, or the
+    kernel hit anything off the happy path — bad prefix, truncation,
+    illegal value) leaves the reader untouched and the caller replays
+    the identical bits through the Python body, which raises the exact
+    errors.  On success the reader advances to the kernel's end
+    position; the decoded symbols are bit-identical to the Python walk.
+    """
+    backend = get_backend()
+    data, bit_pos = reader.cursor()
+    buf = np.frombuffer(data, dtype=np.uint8)
+    nbits = 8 * len(data)
+    rows, cols = header.mb_rows, header.mb_cols
+    if header.frame_type == "I":
+        if header.extended:
+            entry = backend.parse_intra_pred_body
+            if entry is None:
+                return None
+            result = entry(buf, bit_pos, nbits, rows, cols)
+            if result is None:
+                return None
+            new_pos, levels, modes = result
+            reader.advance_to(new_pos)
+            return ParsedPicture(
+                header=header, levels=levels.reshape(rows, cols, 6, 8, 8), modes=modes
+            )
+        entry = backend.parse_intra_body
+        if entry is None:
+            return None
+        result = entry(buf, bit_pos, nbits, rows, cols)
+        if result is None:
+            return None
+        new_pos, levels, dc_levels = result
+        reader.advance_to(new_pos)
+        return ParsedPicture(
+            header=header, levels=levels.reshape(rows * cols * 6, 8, 8), dc_levels=dc_levels
+        )
+    entry = backend.parse_inter_body
+    if entry is None:
+        return None
+    result = entry(buf, bit_pos, nbits, header.extended, header.num_refs, rows, cols)
+    if result is None:
+        return None
+    new_pos, levels, hx, hy, ref_idx = result
+    reader.advance_to(new_pos)
+    return ParsedPicture(
+        header=header,
+        levels=levels.reshape(rows, cols, 6, 8, 8),
+        hx=hx,
+        hy=hy,
+        ref_idx=ref_idx if header.extended else None,
+    )
+
+
 def parse_picture_body(reader, header: PictureHeader) -> ParsedPicture:
     """Parse the macroblock layer of a picture whose header is already
     consumed.  Word-level readers take the LUT fast bodies; readers
     exposing only ``read_bit`` (``ScalarBitReader``) take the seed
-    event-list walk — the two are bit-identical on every stream.
+    event-list walk — the two are bit-identical on every stream.  When
+    the active kernel backend ships compiled body parsers
+    (:mod:`repro.kernels`), plain :class:`BitReader` parses go through
+    them first, falling back here on any deviation.
     """
     fast = hasattr(reader, "read_vlc")
+    if fast and type(reader) is BitReader:
+        parsed = _parse_body_compiled(reader, header)
+        if parsed is not None:
+            return parsed
     if header.frame_type == "I":
         if header.extended:
             return (
@@ -580,7 +644,7 @@ def _reconstruct_intra_pred(parsed: ParsedPicture, frame_index: int) -> Frame:
     header = parsed.header
     rows, cols = header.mb_rows, header.mb_cols
     g = header.geometry
-    residual = inverse_dct(dequantize(parsed.levels, header.qp))
+    residual = get_backend().idct(dequantize(parsed.levels, header.qp))
     y = np.empty((g.height, g.width), dtype=np.uint8)
     cb = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
     cr = np.empty((g.chroma_height, g.chroma_width), dtype=np.uint8)
@@ -632,7 +696,7 @@ def reconstruct_picture(
         coefficients = dequantize(parsed.levels, header.qp)
         coefficients[:, 0, 0] = dequantize_intra_dc(parsed.dc_levels)
         coefficients = coefficients.reshape(rows, cols, 6, 8, 8)
-        pixels = np.clip(np.rint(inverse_dct(coefficients)), 0, 255).astype(np.uint8)
+        pixels = np.clip(np.rint(get_backend().idct(coefficients)), 0, 255).astype(np.uint8)
         y = tile_luma_blocks(pixels[:, :, :4])
         cb = tile_blocks(pixels[:, :, 4])
         cr = tile_blocks(pixels[:, :, 5])
@@ -674,7 +738,7 @@ def reconstruct_picture(
             pred_y[luma_mask] = py[luma_mask]
             pred_cb[chroma_mask] = pcb[chroma_mask]
             pred_cr[chroma_mask] = pcr[chroma_mask]
-    residual = inverse_dct(coefficients)
+    residual = get_backend().idct(coefficients)
     y = add_residual_clip(pred_y, tile_luma_blocks(residual[:, :, :4]))
     cb = add_residual_clip(pred_cb, tile_blocks(residual[:, :, 4]))
     cr = add_residual_clip(pred_cr, tile_blocks(residual[:, :, 5]))

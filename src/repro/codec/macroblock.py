@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codec.bitstream import BitReader, BitWriter
+from repro.kernels import get_backend
 from repro.codec.quantizer import (
     dequantize,
     dequantize_intra_dc,
@@ -167,7 +168,22 @@ def read_block_levels(reader, out_flat, skip_first: int = 0) -> None:
     (a zeroed length-64 raster-order view of the block), with no
     intermediate :class:`CoefficientEvent` objects.  Structure errors
     raise exactly like the event-list path.
+
+    When the active kernel backend offers a compiled block scan it runs
+    first, from a cursor snapshot; a negative return means "replay in
+    Python" (which re-zeroes ``out_flat`` — the compiled scan may have
+    partially written it — and raises this path's exact errors).
     """
+    scan = get_backend().scan_block_levels
+    if scan is not None and type(reader) is BitReader and isinstance(out_flat, np.ndarray):
+        data, bit_pos = reader.cursor()
+        new_pos = scan(
+            np.frombuffer(data, dtype=np.uint8), bit_pos, 8 * len(data), out_flat, skip_first
+        )
+        if new_pos >= 0:
+            reader.advance_to(new_pos)
+            return
+        out_flat[:] = 0
     read_vlc = reader.read_vlc
     read_bit = reader.read_bit
     zigzag = _ZIGZAG_FLAT

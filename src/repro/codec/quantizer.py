@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_backend
+
 #: H.263 coefficient levels are transmitted in [-127, 127] (sans escape).
 LEVEL_MIN, LEVEL_MAX = -127, 127
 
@@ -54,6 +56,12 @@ def quantize_intra_ac(coefficients: np.ndarray, qp: int) -> np.ndarray:
 def dequantize(levels: np.ndarray, qp: int) -> np.ndarray:
     """H.263 reconstruction of inter / intra-AC levels → float coefs."""
     qp = check_qp(qp)
+    return get_backend().dequant(levels, qp)
+
+
+def dequantize_numpy(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Vectorized reconstruction core — the numpy backend's binding for
+    the ``dequant`` ABI entry (``qp`` already validated)."""
     lv = np.asarray(levels, dtype=np.int64)
     magnitude = qp * (2 * np.abs(lv) + 1)
     if qp % 2 == 0:
@@ -75,4 +83,10 @@ def dequantize_intra_dc(levels: np.ndarray) -> np.ndarray:
     lv = np.asarray(levels, dtype=np.int64)
     if ((lv < 1) | (lv > 254)).any():
         raise ValueError("intra DC levels must be in 1..254")
+    return get_backend().dequant_intra_dc(lv)
+
+
+def dequantize_intra_dc_numpy(lv: np.ndarray) -> np.ndarray:
+    """Fixed-step intra-DC core — the numpy backend's binding for the
+    ``dequant_intra_dc`` ABI entry (``lv`` already range-validated)."""
     return (lv * INTRA_DC_STEP).astype(np.float64)

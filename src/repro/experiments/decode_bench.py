@@ -302,9 +302,32 @@ def run_parse_bench(
     )
 
 
+def backend_stamp() -> dict[str, object]:
+    """Provenance of the numbers: which kernel backend produced them.
+
+    Stamped into every ``BENCH_*.json`` by :func:`write_records` —
+    ``backend`` is the active backend's name, ``backend_numba_version``
+    appears only when numba is importable, and ``machine_numba`` is the
+    0/1 capability flag ``check_regression.py`` keys its conditional
+    numba gates on.
+    """
+    from repro.kernels import get_backend, numba_available
+
+    stamp: dict[str, object] = {
+        "backend": get_backend().name,
+        "machine_numba": 1 if numba_available() else 0,
+    }
+    if numba_available():
+        import numba
+
+        stamp["backend_numba_version"] = numba.__version__
+    return stamp
+
+
 def write_records(records: dict[str, float], path: Path) -> None:
     """Merge ``records`` into the JSON file at ``path`` (the same
-    update-in-place convention as ``BENCH_kernels.json``)."""
+    update-in-place convention as ``BENCH_kernels.json``), stamping
+    backend provenance (:func:`backend_stamp`) alongside the numbers."""
     existing: dict[str, float] = {}
     if path.exists():
         try:
@@ -312,4 +335,5 @@ def write_records(records: dict[str, float], path: Path) -> None:
         except ValueError:
             existing = {}
     existing.update(records)
+    existing.update(backend_stamp())
     path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

@@ -22,6 +22,11 @@ Usage::
         --out stream.v2
     python -m repro.experiments.runner seek-decode stream.v2 --frame 5 --verify
     python -m repro.experiments.runner gop-bench --json BENCH_gop.json
+    python -m repro.experiments.runner decode-bench --backend numba
+
+Every subcommand takes ``--backend {auto,numpy,numba}`` — the kernel
+backend for the hot loops (:mod:`repro.kernels`); it overrides the
+``REPRO_BACKEND`` environment variable and travels to spawned workers.
 
 Each paper subcommand prints the same rows/series the corresponding
 table or figure reports; ``decode-bench`` runs an encode→decode round
@@ -572,6 +577,15 @@ def cmd_all(args: argparse.Namespace) -> None:
     print(f"  {'total':<{width}}  {total:8.2f}s  (--jobs {args.jobs})", file=sys.stderr, flush=True)
 
 
+def _add_backend_option(target: argparse.ArgumentParser) -> None:
+    target.add_argument(
+        "--backend", choices=("auto", "numpy", "numba"), default=None,
+        help="kernel backend for every hot loop (overrides the "
+        "REPRO_BACKEND environment variable; 'numba' errors when numba "
+        "is not installed, 'auto' falls back to numpy silently)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     # Shared options live on a parent parser attached to every
     # subcommand, so they are written *after* the command name
@@ -598,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fps", nargs="+", type=int, default=None, metavar="FPS",
         help="frame rates to sweep (default: 30 10)",
     )
+    _add_backend_option(common)
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the tables/figures of Lopez et al., DATE 2005.",
@@ -680,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-ref-frames", type=int, default=1, metavar="N",
         help="reference frames each P-frame may select from (default 1)",
     )
+    _add_backend_option(stream_encode)
     stream_decode = sub.add_parser(
         "stream-decode",
         help="push-decode a v2 bitstream in fixed-size chunks (bounded memory)",
@@ -709,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="overlap symbol parse and reconstruction on a worker thread or "
         "spawned process (default off; output is bit-identical either way)",
     )
+    _add_backend_option(stream_decode)
     stream_bench = sub.add_parser(
         "stream-bench", parents=[common],
         help="push decode vs whole-buffer decode timing + peak-memory bound",
@@ -785,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also decode the whole stream and fail unless the seeked tail "
         "is bit-identical (the CI smoke)",
     )
+    _add_backend_option(seek)
     gop_bench = sub.add_parser(
         "gop-bench", parents=[common],
         help="per-GOP parallel encode speedup + keyframe-seek identity",
@@ -814,6 +832,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        from repro.kernels import set_backend
+
+        try:
+            set_backend(args.backend)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "fig4":
         cmd_fig4(args)
     elif args.command == "fig5":

@@ -1,0 +1,39 @@
+"""Pluggable compiled-kernel backends behind a narrow ABI.
+
+``repro.kernels`` is the dispatch point between the codec's call sites
+(:mod:`repro.me.engine`, :mod:`repro.codec`) and whichever kernel
+implementation is active:
+
+* :mod:`repro.kernels.numpy_backend` — the always-on reference,
+  re-exporting the existing vectorized NumPy implementations.  No
+  dependency beyond numpy; nothing regresses when nothing else is
+  installed.
+* :mod:`repro.kernels.numba_backend` — ``@njit(cache=True)`` scalar
+  kernels compiled lazily on first use, bit-identical to the numpy
+  backend (the golden suites run parametrized over both).
+
+Select with ``REPRO_BACKEND=auto|numpy|numba`` or the runner's global
+``--backend`` flag; ``auto`` (the default) means numba-if-importable.
+See :mod:`repro.kernels.api` for the ABI itself and
+:mod:`repro.kernels.registry` for resolution rules.
+"""
+
+from repro.kernels.api import KernelBackend
+from repro.kernels.registry import (
+    BACKEND_ENV_VAR,
+    available_backend_names,
+    get_backend,
+    numba_available,
+    reset_backend,
+    set_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KernelBackend",
+    "available_backend_names",
+    "get_backend",
+    "numba_available",
+    "reset_backend",
+    "set_backend",
+]

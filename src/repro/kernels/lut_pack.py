@@ -1,0 +1,99 @@
+"""Flat, array-typed packings of the VLC decode LUTs.
+
+The Python decode path walks the nested list LUTs that
+:class:`repro.codec.vlc.VLCTable` compiles (tuples and sub-lists —
+perfect for CPython, opaque to a compiler).  This module flattens each
+table into a single ``int32`` array a nopython kernel can index:
+
+* entry ``-1`` — invalid prefix (no code covers these bits);
+* a **leaf** has bit 30 clear: ``(total_length << 16) | symbol_id``
+  where ``total_length`` is the code's full bit length from the first
+  level (lengths cap at 32, ids at ``0x7FFF``, so leaves stay well
+  below bit 30);
+* a **sub-table link** has bit 30 set (:data:`SUB_FLAG`):
+  ``SUB_FLAG | (sub_bits << 24) | child_offset`` — the next cascade
+  level spans ``2**sub_bits`` entries starting at ``child_offset``
+  (offsets fit 24 bits; the real tables are a few hundred entries).
+
+Symbol ids are per-table:
+
+* TCOEF: ``(last << 8) | (run << 3) | (level - 1)`` — collision-free
+  because level ≤ 8 fills exactly 3 bits and run ≤ 20 < 32 fills the
+  next 5; ESCAPE is :data:`TCOEF_ESCAPE_ID`.
+* CBPY / MCBPC: the symbol *is* the id (0..15 / 0..3).
+
+The packed walk is pinned equal to the nested walk symbol-for-symbol by
+``tests/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.vlc_tables import (
+    CBPY_TABLE,
+    ESCAPE,
+    MCBPC_TABLE,
+    TCOEF_TABLE,
+)
+from repro.codec.zigzag import ZIGZAG_INDEX
+
+#: Entry marker for slots no code covers.
+INVALID = -1
+
+#: Bit 30: this entry links to a nested sub-table.
+SUB_FLAG = 0x40000000
+
+#: Symbol id of the TCOEF escape marker (outside the packed-event range).
+TCOEF_ESCAPE_ID = 0x7FFF
+
+
+def tcoef_symbol_id(symbol) -> int:
+    """Pack a TCOEF symbol — ``(last, run, level)`` or ESCAPE — into an id."""
+    if symbol is ESCAPE:
+        return TCOEF_ESCAPE_ID
+    last, run, level = symbol
+    return (last << 8) | (run << 3) | (level - 1)
+
+
+def _identity_id(symbol) -> int:
+    return int(symbol)
+
+
+def _pack_level(flat: list[int], table: list, width: int, symbol_id) -> int:
+    """Append one LUT level to ``flat``; returns its base offset."""
+    base = len(flat)
+    flat.extend([INVALID] * (1 << width))
+    links: list[tuple[int, int, list]] = []
+    for idx, entry in enumerate(table):
+        if entry is None:
+            continue
+        symbol, length, sub = entry
+        if sub is None:
+            sid = symbol_id(symbol)
+            if not 0 <= sid <= 0x7FFF:
+                raise ValueError(f"symbol id {sid} out of the 15-bit leaf range")
+            flat[base + idx] = (length << 16) | sid
+        else:
+            links.append((idx, length, sub))  # length is the sub-level's width
+    for idx, sub_bits, sub in links:
+        child = _pack_level(flat, sub, sub_bits, symbol_id)
+        if child >= (1 << 24):
+            raise ValueError(f"packed LUT offset {child} exceeds 24 bits")
+        flat[base + idx] = SUB_FLAG | (sub_bits << 24) | child
+    return base
+
+
+def pack_table(table, symbol_id=_identity_id) -> tuple[np.ndarray, int]:
+    """``(flat int32 LUT, first_bits)`` for one :class:`VLCTable`."""
+    flat: list[int] = []
+    _pack_level(flat, table.lut, table.lut_first_bits, symbol_id)
+    return np.asarray(flat, dtype=np.int32), table.lut_first_bits
+
+
+PACKED_TCOEF, TCOEF_FIRST_BITS = pack_table(TCOEF_TABLE, tcoef_symbol_id)
+PACKED_CBPY, CBPY_FIRST_BITS = pack_table(CBPY_TABLE)
+PACKED_MCBPC, MCBPC_FIRST_BITS = pack_table(MCBPC_TABLE)
+
+#: Zig-zag scan positions as int64 for the compiled block scan.
+ZIGZAG = ZIGZAG_INDEX.astype(np.int64)

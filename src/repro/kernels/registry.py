@@ -1,0 +1,103 @@
+"""Backend registry: resolve, cache and switch the active kernel backend.
+
+Selection precedence (first hit wins):
+
+1. an explicit :func:`set_backend` call (the runner's global
+   ``--backend`` flag and the parallel workers' spawn hand-off both
+   land here);
+2. the ``REPRO_BACKEND`` environment variable (``auto`` | ``numpy`` |
+   ``numba``), read once at first resolution;
+3. ``auto``: the numba backend when numba imports, silently falling
+   back to numpy otherwise.
+
+Forcing ``numba`` on a machine without numba is an error (a silent
+fallback there would quietly un-accelerate a deployment that thought it
+had opted in); ``auto`` is the spelling for "numba if you have it".
+
+This module imports nothing heavy at module level — the backends load
+lazily inside :func:`get_backend` — so the call sites
+(``repro.me.engine``, ``repro.codec``) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kernels.api import KernelBackend
+
+#: Environment variable naming the requested backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_active: KernelBackend | None = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can load on this machine."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backend_names() -> tuple[str, ...]:
+    """Backends loadable here — what the golden suites parametrize over."""
+    return ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+def _resolve(name: str | None) -> KernelBackend:
+    if name is None or name in ("", "auto"):
+        if numba_available():
+            from repro.kernels import numba_backend
+
+            return numba_backend.get_numba_backend()
+        from repro.kernels import numpy_backend
+
+        return numpy_backend.BACKEND
+    if name == "numpy":
+        from repro.kernels import numpy_backend
+
+        return numpy_backend.BACKEND
+    if name == "numba":
+        if not numba_available():
+            raise RuntimeError(
+                f"{BACKEND_ENV_VAR}=numba (or --backend numba) requests the "
+                "compiled backend, but numba is not importable in this "
+                "environment. Install it (pip install 'repro-lopezcls05[numba]' "
+                f"or requirements-numba.txt), or use {BACKEND_ENV_VAR}=auto, "
+                "which falls back to the numpy backend silently."
+            )
+        from repro.kernels import numba_backend
+
+        return numba_backend.get_numba_backend()
+    raise ValueError(
+        f"unknown kernel backend {name!r} (choose auto, numpy or numba)"
+    )
+
+
+def get_backend() -> KernelBackend:
+    """The active backend, resolving ``REPRO_BACKEND`` on first use."""
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get(BACKEND_ENV_VAR))
+    return _active
+
+
+def set_backend(backend: str | KernelBackend | None) -> KernelBackend | None:
+    """Pin the active backend by name (``auto``/``numpy``/``numba``) or
+    instance; ``None`` clears the pin so the next :func:`get_backend`
+    re-resolves from the environment.  Returns the now-active backend
+    (``None`` after a clear)."""
+    global _active
+    if backend is None:
+        _active = None
+    elif isinstance(backend, KernelBackend):
+        _active = backend
+    else:
+        _active = _resolve(backend)
+    return _active
+
+
+def reset_backend() -> None:
+    """Forget any pinned backend (tests restore state through this)."""
+    set_backend(None)

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.kernels import get_backend
 from repro.me.engine.reference_plane import ReferencePlane
 from repro.me.search_window import SearchWindow
 
@@ -200,7 +201,15 @@ def frame_sad_surfaces(
         raise ValueError(f"plane {cur.shape} not a multiple of block size {s}")
     if not supports_vectorized_search(ref, s, p) or cur.dtype != np.uint8:
         return _frame_sad_surfaces_generic(cur, ref, s, p)
+    surf = get_backend().sad_surfaces(cur, ref, s, p)
+    return FrameSadSurfaces(surfaces=surf, block_size=s, p=p, plane_shape=(h, w))
 
+
+def sad_surfaces_numpy(cur: np.ndarray, ref: np.ndarray, s: int, p: int) -> np.ndarray:
+    """The packed two-lane surface kernel — the numpy backend's binding
+    for the ``sad_surfaces`` ABI entry.  Callers guarantee the packed
+    envelope (uint8 planes inside :func:`supports_vectorized_search`)."""
+    h, w = cur.shape
     rows, cols = h // s, w // s
     n = 2 * p + 1
     ci = cur.astype(np.int16)
@@ -237,7 +246,7 @@ def frame_sad_surfaces(
         bad = (c * s + dxs < 0) | (c * s + s + dxs > w)
         if bad.any():
             surf[:, c, :, bad] = SURFACE_SENTINEL
-    return FrameSadSurfaces(surfaces=surf, block_size=s, p=p, plane_shape=(h, w))
+    return surf
 
 
 def _frame_sad_surfaces_generic(
@@ -341,10 +350,38 @@ def refine_half_pel_batch(
     # definition rather than risking a stale copy.
     from repro.me.subpel import HALF_PEL_NEIGHBOURS
 
-    s = block_size
     h, w = plane.shape
+    return get_backend().refine_half_pel(
+        np.asarray(current),
+        plane.half_plane,
+        np.asarray(anchor_dx, dtype=np.int64),
+        np.asarray(anchor_dy, dtype=np.int64),
+        np.asarray(anchor_sads, dtype=np.int64),
+        block_size,
+        p,
+        h,
+        w,
+        np.asarray(HALF_PEL_NEIGHBOURS, dtype=np.int64),
+    )
+
+
+def refine_half_pel_numpy(
+    current: np.ndarray,
+    half: np.ndarray,
+    anchor_dx: np.ndarray,
+    anchor_dy: np.ndarray,
+    anchor_sads: np.ndarray,
+    s: int,
+    p: int,
+    h: int,
+    w: int,
+    offs: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized half-pel core — the numpy backend's binding for the
+    ``refine_half_pel`` ABI entry.  ``half`` is the cached half-pel
+    plane; ``offs`` is the (8, 2) neighbour table as (dhx, dhy) whose
+    order decides strict-improvement ties."""
     rows, cols = h // s, w // s
-    half = plane.half_plane
     cur_blocks = (
         np.asarray(current)
         .reshape(rows, s, cols, s)
@@ -357,7 +394,6 @@ def refine_half_pel_batch(
     # Half-pel coordinates of each block's anchor inside the half plane.
     base_hy = 2 * (np.arange(rows) * s)[:, None] + anchor_hy
     base_hx = 2 * (np.arange(cols) * s)[None, :] + anchor_hx
-    offs = np.array(HALF_PEL_NEIGHBOURS)  # (8, 2) as (dhx, dhy)
     hx = anchor_hx[None, :, :] + offs[:, 0, None, None]  # (8, rows, cols)
     hy = anchor_hy[None, :, :] + offs[:, 1, None, None]
     valid = (
@@ -408,6 +444,12 @@ def intra_mode_cost_surfaces(y: np.ndarray, block_size: int = 16) -> np.ndarray:
     (and therefore emit identical bytes).  Unavailable modes carry
     :data:`INTRA_UNAVAILABLE_COST`.
     """
+    return get_backend().intra_mode_costs(y, block_size)
+
+
+def intra_mode_costs_numpy(y: np.ndarray, block_size: int) -> np.ndarray:
+    """Vectorized mode-cost core — the numpy backend's binding for the
+    ``intra_mode_costs`` ABI entry."""
     s = block_size
     rows, cols = y.shape[0] // s, y.shape[1] // s
     cur = y.astype(np.int64)
@@ -485,6 +527,22 @@ def evaluate_candidates_batch(
     """
     cur = np.asarray(current)
     ref = _luma(reference)
+    return get_backend().evaluate_candidates(
+        cur, ref, block_ys, block_xs, dys, dxs, block_size
+    )
+
+
+def evaluate_candidates_numpy(
+    cur: np.ndarray,
+    ref: np.ndarray,
+    block_ys: np.ndarray,
+    block_xs: np.ndarray,
+    dys: np.ndarray,
+    dxs: np.ndarray,
+    block_size: int,
+) -> np.ndarray:
+    """Fancy-indexed candidate-scoring core — the numpy backend's
+    binding for the ``evaluate_candidates`` ABI entry."""
     s = block_size
     h, w = ref.shape
     by = np.asarray(block_ys, dtype=np.int64)[:, None]

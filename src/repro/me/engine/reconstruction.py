@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.me.engine.kernels import _window_bounds
 from repro.me.engine.reference_plane import ReferencePlane
 
@@ -50,18 +51,20 @@ def chroma_mv_grids(luma_hx: np.ndarray, luma_hy: np.ndarray) -> tuple[np.ndarra
     return _halve_away_from_zero(luma_hx), _halve_away_from_zero(luma_hy)
 
 
-def _gather_blocks(
-    plane: ReferencePlane, base_hy: np.ndarray, base_hx: np.ndarray, block_size: int
+def mc_gather_numpy(
+    half: np.ndarray, base_hy: np.ndarray, base_hx: np.ndarray, block_size: int
 ) -> np.ndarray:
     """Read one ``block_size`` square per grid cell from the cached
-    half-pel plane at absolute half-pel origins ``(base_hy, base_hx)``;
-    returns ``(rows, cols, s, s)`` uint8."""
-    half = plane.half_plane
+    half-pel plane at absolute half-pel origins ``(base_hy, base_hx)``
+    and tile them into the ``(rows*s, cols*s)`` prediction plane — the
+    numpy backend's binding for the ``mc_gather`` ABI entry."""
+    rows, cols = base_hy.shape
     step = 2 * np.arange(block_size)
-    return half[
+    pred = half[
         base_hy[:, :, None, None] + step[None, None, :, None],
         base_hx[:, :, None, None] + step[None, None, None, :],
-    ]
+    ]  # (rows, cols, s, s)
+    return pred.transpose(0, 2, 1, 3).reshape(rows * block_size, cols * block_size)
 
 
 def frame_mc_luma(
@@ -97,8 +100,7 @@ def frame_mc_luma(
         or (base_hx > 2 * (w - s)).any()
     ):
         raise ValueError(f"motion field leaves the {h}x{w} reference plane")
-    pred = _gather_blocks(plane, base_hy, base_hx, s)
-    return pred.transpose(0, 2, 1, 3).reshape(h, w)
+    return get_backend().mc_gather(plane.half_plane, base_hy, base_hx, s)
 
 
 def frame_mc_chroma(
@@ -133,8 +135,7 @@ def frame_mc_chroma(
     chy = np.clip(chy, 2 * dy_min[:, None], 2 * dy_max[:, None])
     base_hy = 2 * s * np.arange(rows, dtype=np.int64)[:, None] + chy
     base_hx = 2 * s * np.arange(cols, dtype=np.int64)[None, :] + chx
-    pred = _gather_blocks(plane, base_hy, base_hx, s)
-    return pred.transpose(0, 2, 1, 3).reshape(h, w)
+    return get_backend().mc_gather(plane.half_plane, base_hy, base_hx, s)
 
 
 def tile_blocks(blocks: np.ndarray) -> np.ndarray:

@@ -46,6 +46,7 @@ def encode_sequence_parallel(
     bitstream_version: int = 2,
     use_engine: bool = True,
     progress: ProgressFn | None = None,
+    use_shm: bool = False,
 ) -> EncodeResult:
     """Encode ``sequence`` GOP-by-GOP across ``jobs`` workers.
 
@@ -58,6 +59,11 @@ def encode_sequence_parallel(
 
     ``estimator`` must be a registry name: workers rebuild it from the
     spec, so an estimator *instance* cannot cross the spawn boundary.
+
+    ``use_shm=True`` ships each GOP's source planes to workers as
+    shared-memory :class:`~repro.transport.FrameHandle` references
+    (``GopEncodeJob.pack_shm``) instead of pickled bytes — byte-identical
+    output, cheaper transport for large sequences.
     """
     if i_period is None:
         raise ValueError("parallel GOP encode needs i_period: without GOP cuts there "
@@ -101,7 +107,9 @@ def encode_sequence_parallel(
         )
         for start, end in split_gops(len(frames), i_period)
     ]
-    results = run_jobs(specs, workers=jobs, base_seed=base_seed, progress=progress)
+    results = run_jobs(
+        specs, workers=jobs, base_seed=base_seed, progress=progress, use_shm=use_shm
+    )
     records = [record for _chunk, gop_records in results for record in gop_records]
     bitstream = b"".join(chunk for chunk, _gop_records in results)
     return EncodeResult(

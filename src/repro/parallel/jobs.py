@@ -288,15 +288,21 @@ class GopEncodeJob(JobSpec):
     ``start..start+len-1`` reproduce the serial encoder's frame-type
     decisions because a GOP never outlives ``i_period`` frames.
 
-    Frames travel as raw plane bytes (hashable, pickle-cheap); workers
-    rebuild them with the spec's geometry.
+    Frames travel as raw plane bytes (hashable, pickle-cheap), or — when
+    the pool runs under shared-memory transport — as
+    :class:`~repro.transport.FrameHandle` references (:meth:`pack_shm`),
+    so a GOP's source planes cross the spawn boundary as ~200-byte
+    handles instead of megabytes of pickled bytes.  Workers rebuild the
+    frames with the spec's geometry; the encoded bytes are identical
+    under either transport.  Exactly one of ``planes``/``plane_handles``
+    is set.
     """
 
     width: int
     height: int
     start: int
     #: One ``(y, cb, cr, frame_index)`` tuple of plane bytes per frame.
-    planes: tuple[tuple[bytes, bytes, bytes, int], ...]
+    planes: tuple[tuple[bytes, bytes, bytes, int], ...] | None
     estimator: str
     qp: int
     i_period: int
@@ -304,20 +310,48 @@ class GopEncodeJob(JobSpec):
     bitstream_version: int = 2
     use_engine: bool = True
     estimator_kwargs: tuple = ()
+    #: Shared-memory twin of ``planes``: ``(y, cb, cr, frame_index)``
+    #: tuples of handles, produced by :meth:`pack_shm`.
+    plane_handles: "tuple[tuple[FrameHandle, FrameHandle, FrameHandle, int], ...] | None" = None
 
     def describe(self) -> str:
-        return f"gop @{self.start} ({len(self.planes)} frames)"
+        frames = self.planes if self.planes is not None else self.plane_handles
+        return f"gop @{self.start} ({len(frames)} frames)"
+
+    def pack_shm(self, place: "Callable[[np.ndarray], FrameHandle]") -> "GopEncodeJob":
+        if self.planes is None:
+            return self
+        return replace(
+            self,
+            planes=None,
+            plane_handles=tuple(
+                (place(y), place(cb), place(cr), index) for y, cb, cr, index in self.planes
+            ),
+        )
 
     def _frames(self):
         from repro.video.frame import Frame
 
         w, h = self.width, self.height
         cw, ch = w // 2, h // 2
-        for y, cb, cr, index in self.planes:
+        if self.planes is not None:
+            loaded = (
+                (np.frombuffer(y, dtype=np.uint8), np.frombuffer(cb, dtype=np.uint8),
+                 np.frombuffer(cr, dtype=np.uint8), index)
+                for y, cb, cr, index in self.planes
+            )
+        else:
+            from repro.transport import read_array
+
+            loaded = (
+                (read_array(y), read_array(cb), read_array(cr), index)
+                for y, cb, cr, index in self.plane_handles
+            )
+        for y, cb, cr, index in loaded:
             yield Frame(
-                np.frombuffer(y, dtype=np.uint8).reshape(h, w),
-                np.frombuffer(cb, dtype=np.uint8).reshape(ch, cw),
-                np.frombuffer(cr, dtype=np.uint8).reshape(ch, cw),
+                y.reshape(h, w),
+                cb.reshape(ch, cw),
+                cr.reshape(ch, cw),
                 index=index,
             )
 

@@ -109,15 +109,24 @@ def _chunks(items: Sequence, size: int) -> Iterable[tuple[int, list]]:
         yield start, list(items[start : start + size])
 
 
-def _run_chunk(payload: list, use_shm: bool = False) -> list:
+def _run_chunk(payload: list, use_shm: bool = False, backend: str | None = None) -> list:
     """Worker-side chunk executor: ``payload`` is a list of
     ``(job, seed_sequence)`` pairs, results returned in chunk order.
+
+    ``backend`` pins the worker's kernel backend by registry name before
+    any job runs — how the parent's backend choice survives the spawn
+    boundary (a spawned child would otherwise re-resolve from its own
+    environment).
 
     Under ``use_shm`` each result's arrays are exported to a one-shot
     shared segment before the return value crosses the pickle boundary
     — the parent materializes (and unlinks) them as the chunk lands.
     Results without array payloads are returned as-is either way.
     """
+    if backend is not None:
+        from repro.kernels import set_backend
+
+        set_backend(backend)
     results = [execute_job(job, seed_seq) for job, seed_seq in payload]
     if use_shm:
         from repro.transport import export
@@ -152,6 +161,24 @@ def _exported_package_path():
             os.environ["PYTHONPATH"] = before
 
 
+def _spawn_backend_name(backend: str | None) -> str | None:
+    """The kernel-backend name to pin in spawned workers.
+
+    An explicit request wins; otherwise the parent's *active* backend is
+    shipped when it carries a registry name, so a runner-level
+    ``--backend`` (or ``REPRO_BACKEND``) choice survives the spawn
+    boundary without each call site threading it through.  Instance
+    backends without a registry name (e.g. the ``numba-sim`` test
+    backend) never cross — workers re-resolve from their environment.
+    """
+    if backend is not None:
+        return backend
+    from repro.kernels import get_backend
+
+    name = get_backend().name
+    return name if name in ("numpy", "numba") else None
+
+
 def run_jobs(
     jobs: Sequence["JobSpec"],
     workers: int = 1,
@@ -160,6 +187,7 @@ def run_jobs(
     progress: ProgressFn | None = None,
     chunk_size: int = 1,
     use_shm: bool = False,
+    backend: str | None = None,
 ) -> list:
     """Execute ``jobs`` and return their results in job order.
 
@@ -186,6 +214,12 @@ def run_jobs(
         Move payload arrays through shared memory instead of the pickle
         stream (see the module docstring).  Results are bit-identical
         either way; ``False`` is exactly the historical pickling path.
+    backend:
+        Kernel-backend registry name to pin in workers (and, for the
+        in-process path, around the run).  ``None`` ships the parent's
+        active backend's name automatically — see
+        :func:`_spawn_backend_name`.  Backends are bit-identical, so
+        this never changes results, only worker speed.
     """
     job_list = list(jobs)
     if not job_list:
@@ -199,8 +233,14 @@ def run_jobs(
         # global RNG would differ between worker counts), but the
         # caller's global RNG stream is not ours to consume — save and
         # restore it so ``run_jobs`` is side-effect-free in-process,
-        # exactly like the parallel path (which reseeds only workers).
+        # exactly like the parallel path (which reseeds only workers,
+        # and likewise pins the backend only in workers).
+        from repro.kernels import get_backend, set_backend
+
         rng_state = np.random.get_state()
+        previous_backend = get_backend() if backend is not None else None
+        if backend is not None:
+            set_backend(backend)
         try:
             results = []
             for job, seed_seq in zip(job_list, seeds):
@@ -210,8 +250,14 @@ def run_jobs(
             return results
         finally:
             np.random.set_state(rng_state)
+            if previous_backend is not None:
+                set_backend(previous_backend)
+    spawn_backend = _spawn_backend_name(backend)
     if not use_shm:
-        return _run_parallel(job_list, seeds, workers, progress, chunk_size, use_shm=False)
+        return _run_parallel(
+            job_list, seeds, workers, progress, chunk_size, use_shm=False,
+            backend=spawn_backend,
+        )
     from repro.transport import FrameArena
 
     # The arena must outlive every worker read of a packed spec, i.e.
@@ -220,7 +266,10 @@ def run_jobs(
     # unlinks) as each chunk completes — see _run_chunk.
     with FrameArena(name_prefix="repro-jobs") as arena:
         packed = [job.pack_shm(arena.place) for job in job_list]
-        return _run_parallel(packed, seeds, workers, progress, chunk_size, use_shm=True)
+        return _run_parallel(
+            packed, seeds, workers, progress, chunk_size, use_shm=True,
+            backend=spawn_backend,
+        )
 
 
 def _run_parallel(
@@ -230,6 +279,7 @@ def _run_parallel(
     progress: ProgressFn | None,
     chunk_size: int,
     use_shm: bool,
+    backend: str | None = None,
 ) -> list:
     if progress is not None:
         chunk_size = 1  # per-job completion reporting (see ProgressFn)
@@ -241,7 +291,10 @@ def _run_parallel(
         ) as executor:
             futures = {}
             for start, chunk in _chunks(list(zip(job_list, seeds)), chunk_size):
-                futures[executor.submit(_run_chunk, chunk, use_shm)] = (start, len(chunk))
+                futures[executor.submit(_run_chunk, chunk, use_shm, backend)] = (
+                    start,
+                    len(chunk),
+                )
             failure: tuple[Exception, int, int] | None = None
             for future in as_completed(futures):
                 start, length = futures[future]

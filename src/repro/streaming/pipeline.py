@@ -71,11 +71,20 @@ def _parse_loop(in_q, out_q) -> None:
         out_q.put((_OK, seq, parsed))
 
 
-def _parse_process_main(in_q, out_q) -> None:
+def _parse_process_main(in_q, out_q, backend=None) -> None:
     """Process-mode worker body (module-level for ``spawn``): like
     :func:`_parse_loop`, but parsed pictures leave as one-shot
-    shared-memory exports the parent materializes and unlinks."""
+    shared-memory exports the parent materializes and unlinks.
+
+    ``backend`` is the parent's kernel-backend name (spawned children
+    re-resolve ``REPRO_BACKEND`` from scratch, so an in-process
+    ``set_backend`` choice must travel explicitly)."""
     from repro.transport import export
+
+    if backend is not None:
+        from repro.kernels import set_backend
+
+        set_backend(backend)
 
     while True:
         item = in_q.get()
@@ -147,13 +156,15 @@ class ParseStage:
 
             # Same spawn hygiene as the job pool: the child re-imports
             # the package, so make sure it can.
-            from repro.parallel.pool import _exported_package_path
+            from repro.parallel.pool import _exported_package_path, _spawn_backend_name
 
             ctx = get_context("spawn")
             self._in = ctx.Queue()
             self._out = ctx.Queue(maxsize=depth)
             self._worker = ctx.Process(
-                target=_parse_process_main, args=(self._in, self._out), daemon=True
+                target=_parse_process_main,
+                args=(self._in, self._out, _spawn_backend_name(None)),
+                daemon=True,
             )
             with _exported_package_path():
                 self._worker.start()

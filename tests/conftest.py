@@ -17,6 +17,35 @@ from repro.video.sequence import Sequence
 SMALL = FrameGeometry(64, 48)
 
 
+def backend_matrix():
+    """Fixture factory parametrizing a golden suite over every kernel
+    backend loadable here (``repro.kernels``).
+
+    The golden modules (``test_engine``, ``test_reconstruction``,
+    ``test_vlc_lut``, ``test_gop``) instantiate it at module scope::
+
+        kernel_backend = backend_matrix()
+
+    so each of their tests runs once per available backend with that
+    backend pinned — on a pure-NumPy machine that is just ``[numpy]``;
+    with numba installed every golden equivalence is re-proven against
+    the compiled kernels (the references they compare against are the
+    seed per-block/per-bit paths, which never dispatch).  Module scope
+    keeps hypothesis's function-scoped-fixture health check quiet.
+    """
+    from repro.kernels import available_backend_names
+
+    @pytest.fixture(scope="module", autouse=True, params=available_backend_names())
+    def kernel_backend(request):
+        from repro.kernels import reset_backend, set_backend
+
+        set_backend(request.param)
+        yield request.param
+        reset_backend()
+
+    return kernel_backend
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

@@ -33,7 +33,10 @@ from repro.me.search_window import SearchWindow, clamped_window
 from repro.me.subpel import half_pel_block, predict_block, refine_half_pel
 from repro.me.types import MotionVector
 
-from .conftest import shifted_plane, textured_plane
+from .conftest import backend_matrix, shifted_plane, textured_plane
+
+#: Every golden equivalence below re-runs per available kernel backend.
+kernel_backend = backend_matrix()
 
 
 def random_plane(seed: int, h: int = 48, w: int = 64) -> np.ndarray:

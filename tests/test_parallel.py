@@ -333,3 +333,106 @@ class TestHarnessEquivalence:
             "miss_america@30fps pbm qp=16",
             "miss_america@30fps pbm qp=30",
         ]
+
+
+@dataclass(frozen=True)
+class BackendProbeJob(JobSpec):
+    """Reports the kernel backend active inside the worker."""
+
+    tag: int = 0
+
+    def describe(self) -> str:
+        return f"probe {self.tag}"
+
+    def run(self, rng=None):
+        from repro.kernels import get_backend
+
+        return get_backend().name
+
+
+class TestGopShmTransport:
+    """``encode_sequence_parallel(..., use_shm=True)`` ships GOP source
+    planes as shared-memory handles (``GopEncodeJob.pack_shm``) instead
+    of pickled bytes — byte-identical output, clean ``/dev/shm``."""
+
+    @pytest.fixture(scope="class")
+    def clip(self):
+        return make_sequence("miss_america", frames=6, seed=0)
+
+    @staticmethod
+    def shm_leftovers() -> list[str]:
+        return sorted(glob.glob("/dev/shm/repro-*"))
+
+    def test_gop_shm_byte_identical_and_leak_free(self, clip):
+        from repro.parallel import encode_sequence_parallel
+
+        serial = Encoder(
+            estimator="tss", qp=20, i_period=3, bitstream_version=2,
+            keep_reconstruction=False,
+        ).encode(clip)
+        shm = encode_sequence_parallel(
+            clip, qp=20, estimator="tss", i_period=3, jobs=2, use_shm=True
+        )
+        assert shm.bitstream == serial.bitstream
+        assert not self.shm_leftovers()
+
+    def test_gop_shm_in_process_matches(self, clip):
+        from repro.parallel import encode_sequence_parallel
+
+        plain = encode_sequence_parallel(
+            clip, qp=20, estimator="tss", i_period=3, jobs=1
+        )
+        shm = encode_sequence_parallel(
+            clip, qp=20, estimator="tss", i_period=3, jobs=1, use_shm=True
+        )
+        assert shm.bitstream == plain.bitstream
+        assert not self.shm_leftovers()
+
+    def test_pack_shm_roundtrips_planes(self, clip):
+        """pack_shm replaces pickled plane bytes with FrameHandles; the
+        worker-side frame iteration reconstructs identical frames."""
+        from repro.parallel.jobs import GopEncodeJob
+        from repro.transport import FrameArena
+
+        frames = list(clip)[0:3]
+        geometry = clip.geometry
+        job = GopEncodeJob(
+            width=geometry.width,
+            height=geometry.height,
+            start=0,
+            planes=tuple(
+                (f.y.tobytes(), f.cb.tobytes(), f.cr.tobytes(), f.index) for f in frames
+            ),
+            estimator="tss",
+            qp=20,
+            i_period=3,
+            n_ref_frames=1,
+            bitstream_version=2,
+            use_engine=True,
+            estimator_kwargs=(),
+        )
+        with FrameArena(name_prefix="repro-jobs-test") as arena:
+            packed = job.pack_shm(arena.place)
+            assert packed.planes is None
+            assert len(packed.plane_handles) == 3
+            for original, shipped in zip(job._frames(), packed._frames()):
+                assert original == shipped
+            assert packed.describe() == job.describe()
+        assert not self.shm_leftovers()
+
+
+class TestBackendThreading:
+    """The kernel-backend choice survives both run_jobs paths."""
+
+    def test_backend_pinned_in_process_and_restored(self):
+        from repro.kernels import get_backend
+
+        before = get_backend()
+        assert run_jobs([BackendProbeJob(1)], workers=1, backend="numpy") == ["numpy"]
+        assert get_backend() is before
+
+    def test_backend_ships_to_spawned_workers(self):
+        names = run_jobs(
+            [BackendProbeJob(1), BackendProbeJob(2)], workers=2, backend="numpy"
+        )
+        assert names == ["numpy", "numpy"]

@@ -40,7 +40,10 @@ from repro.video.frame import Frame
 from repro.video.sequence import Sequence
 from repro.video.synthesis.sequences import make_sequence
 
-from .conftest import shifted_plane, textured_plane
+from .conftest import backend_matrix, shifted_plane, textured_plane
+
+#: Every golden equivalence below re-runs per available kernel backend.
+kernel_backend = backend_matrix()
 
 
 def random_plane(seed: int, h: int = 48, w: int = 64) -> np.ndarray:

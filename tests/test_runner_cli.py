@@ -3,6 +3,12 @@
 import pytest
 
 from repro.experiments.runner import build_parser, main
+from repro.kernels import numba_available
+
+#: Provenance keys write_records stamps into every BENCH_*.json.
+STAMP_KEYS = {"backend", "machine_numba"} | (
+    {"backend_numba_version"} if numba_available() else set()
+)
 
 
 class TestParser:
@@ -133,7 +139,7 @@ class TestMain:
         records = json.loads(out_path.read_text())
         assert set(records) == {
             "decode_per_block_ms", "decode_batched_ms", "decode_speedup",
-        }
+        } | STAMP_KEYS
         assert records["decode_per_block_ms"] > 0
         assert records["decode_batched_ms"] > 0
 
@@ -155,7 +161,7 @@ class TestMain:
         assert set(records) == {
             "vlc_parse_lut_ms", "vlc_parse_seed_ms", "vlc_parse_speedup",
             "vlc_parse_mbps", "vlc_reconstruct_ms",
-        }
+        } | STAMP_KEYS
         assert records["vlc_parse_speedup"] > 0
 
     def test_decode_bench_parse_only_rejects_v2(self, capsys):
@@ -247,7 +253,7 @@ class TestMain:
             "stream_pipeline_peak_buffered_bytes",
             "stream_bytes_copied", "stream_handles_passed",
             "machine_cpu_count",
-        }
+        } | STAMP_KEYS
         assert records["stream_peak_buffered_bytes"] < records["stream_buffer_bound_bytes"]
         assert records["stream_pipeline_decode_ms"] > 0
 
@@ -279,7 +285,7 @@ class TestMain:
             "transport_result_pickle_bytes_plain", "transport_result_pickle_bytes_shm",
             "transport_decode_plain_ms", "transport_decode_shm_ms",
             "transport_shm_speedup", "machine_cpu_count",
-        }
+        } | STAMP_KEYS
         assert records["transport_payload_bytes_per_frame_shm"] == 0.0
         assert records["transport_spec_pickle_bytes_shm"] < records[
             "transport_spec_pickle_bytes_plain"
@@ -308,4 +314,4 @@ class TestMain:
         records = json.loads(out_path.read_text())
         assert set(records) == {
             "decode_v2_per_block_ms", "decode_v2_batched_ms", "decode_v2_speedup",
-        }
+        } | STAMP_KEYS

@@ -33,6 +33,11 @@ from repro.codec.vlc import (
 from repro.codec.vlc_tables import ALL_TABLES
 from repro.codec.zigzag import CoefficientEvent
 
+from .conftest import backend_matrix
+
+#: Every golden equivalence below re-runs per available kernel backend.
+kernel_backend = backend_matrix()
+
 
 def _decode_all(table, reader, count):
     return [table.decode(reader) for _ in range(count)]
