@@ -19,6 +19,10 @@ Key classification, shared with the benchmark writers:
   asserts), not peak-machine snapshots — ``--update`` adopts the
   measured values verbatim, so trim the ``speedup`` keys back toward a
   floor before committing a refresh from a fast machine;
+* keys containing ``shrink`` are pickled-size ratios (by-value spec
+  bytes over shm spec bytes) — **higher** is better and they gate
+  **unconditionally**: spec size is a property of the transport, not
+  of the machine's core count, so a single-core runner gates them too;
 * keys ending in ``_ms`` are absolute timings — **lower** is better.
   They are reported (and kept in the baselines for trend reading) but
   only gate with ``--gate-absolute``, because a committed wall-clock
@@ -28,10 +32,12 @@ Key classification, shared with the benchmark writers:
   but never gates.
 
 One machine-shaped exception: ``parallel_*``, ``transport_*``,
-``stream_pipeline_*`` and ``gop_*`` speedup keys compare a multi-worker
-run against a serial one, which only makes sense with parallel hardware
-underneath — when the fresh record says ``machine_cpu_count < 2`` they
-are reported as info instead of gated
+``stream_pipeline_*`` and ``gop_*`` keys containing ``speedup`` compare
+a multi-worker run against a serial one, which only makes sense with
+parallel hardware underneath — when the fresh record says
+``machine_cpu_count < 2`` they are reported as info instead of gated
+(the size/hygiene keys under the same prefixes, e.g. the
+``transport_sweep_*`` shrink ratios, still gate)
 (``benchmarks/test_bench_parallel.py``, ``test_bench_transport.py``,
 ``test_bench_stream.py`` and ``test_bench_gop.py`` apply the same rule
 to their own hard asserts).
@@ -64,20 +70,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 
-#: Keys gated as lower-is-better / higher-is-better.
+#: Keys gated as lower-is-better / higher-is-better.  ``speedup`` is a
+#: runtime ratio (may be machine-shaped, see the prefixes below);
+#: ``shrink`` is a serialized-size ratio and gates on every machine.
 LOWER_IS_BETTER_SUFFIX = "_ms"
-HIGHER_IS_BETTER_MARKER = "speedup"
+HIGHER_IS_BETTER_MARKERS = ("speedup", "shrink")
 
-#: Speedup keys that compare multi-worker against serial execution —
-#: informational (not gated) when the fresh machine has one core.
+#: Prefixes whose *speedup* keys compare multi-worker against serial
+#: execution — informational (not gated) when the fresh machine has one
+#: core.  Size/hygiene keys under the same prefixes gate regardless.
 MULTI_CORE_ONLY_PREFIXES = ("parallel_", "transport_", "stream_pipeline_", "gop_")
+MULTI_CORE_ONLY_MARKER = "speedup"
 
 
 def classify(key: str) -> str | None:
     """'lower', 'higher' or None (informational only)."""
     if key.endswith(LOWER_IS_BETTER_SUFFIX):
         return "lower"
-    if HIGHER_IS_BETTER_MARKER in key:
+    if any(marker in key for marker in HIGHER_IS_BETTER_MARKERS):
         return "higher"
     return None
 
@@ -138,7 +148,12 @@ def compare_file(
             continue
         new = float(fresh[key])
         gates = kind == "higher" or (kind == "lower" and gate_absolute)
-        if gates and single_core and key.startswith(MULTI_CORE_ONLY_PREFIXES):
+        if (
+            gates
+            and single_core
+            and key.startswith(MULTI_CORE_ONLY_PREFIXES)
+            and MULTI_CORE_ONLY_MARKER in key
+        ):
             gates = False  # multi-worker vs serial is meaningless on one core
         if kind is None or base <= 0:
             print(f"  {key:<{width}}  baseline {base:10.3f}  fresh {new:10.3f}  (info)")

@@ -4,15 +4,21 @@ Runs :func:`repro.experiments.transport_bench.run_transport_bench` on a
 12-frame QCIF v2 stream: per-frame pickled sizes of parse-job specs and
 parsed results under both transports, plus the 2-worker decode timed
 both ways (bit-identity against the serial decode verified inside the
-bench).  Records land in ``BENCH_transport.json`` at the repo root for
-CI's regression gate.
+bench).  :func:`run_transport_sweep_bench` adds the experiment fan-out
+rows: ``EncodeJob`` / ``SweepJob`` / ``Fig4PairJob`` spec pickles
+priced by-value vs as handles, and the 2-worker RD sweep timed under
+both transports.  Records land in ``BENCH_transport.json`` at the repo
+root for CI's regression gate.
 
 The tentpole numbers this pins: under ``use_shm`` the *payload* bytes
-pickled per frame must be **zero** (handles only), and the arena
-protocol must leave ``/dev/shm`` clean.  The decode speedup is
-machine-shaped — like ``parallel_*``, it only gates (here and in
-``check_regression.py``) when the machine has >= 2 cores; on a one-core
-container the honest measurement is recorded as info.
+pickled per frame (and per experiment job) must be **zero** (handles
+only), every ``pack_shm``-capable spec's pickle must shrink at least
+3x against its by-value twin, and the arena protocol must leave
+``/dev/shm`` clean.  Those size/hygiene claims gate on any machine.
+The decode and sweep speedups are machine-shaped — like ``parallel_*``,
+they only gate (here and in ``check_regression.py``) when the machine
+has >= 2 cores; on a one-core container the honest measurement is
+recorded as info.
 """
 
 import os
@@ -21,6 +27,7 @@ import pytest
 
 from repro.experiments.transport_bench import (
     run_transport_bench,
+    run_transport_sweep_bench,
     shm_segments,
     write_records,
 )
@@ -70,6 +77,50 @@ def test_transport_identity_and_zero_copy(result):
     assert result.result_pickle_bytes_shm < result.result_pickle_bytes_plain
     _RECORDS.update(result.records())
     print(f"\n{result.as_text()}")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_transport_sweep_bench(
+        sequence="foreman", frames=TRANSPORT_FRAMES, qp=16, estimator="tss",
+        rounds=3, jobs=2,
+    )
+
+
+def test_sweep_specs_zero_copy_and_identical(sweep_result):
+    """The experiment fan-out rows: every spec kind ships handles (zero
+    payload bytes, >= 3x smaller pickles than its by-value twin), the
+    shm RD sweep matches the pickling sweep cell for cell, and nothing
+    outlives the run in /dev/shm."""
+    assert sweep_result.sweep_identical, "shm RD sweep diverged from pickling sweep"
+    assert sweep_result.no_leaks and not shm_segments(), "shared-memory segments leaked"
+    assert sweep_result.payload_bytes_per_job_shm == 0.0, (
+        f"packed experiment specs still pickle "
+        f"{sweep_result.payload_bytes_per_job_shm:.0f} payload bytes per job"
+    )
+    assert sweep_result.payload_bytes_per_job_value > 0
+    for kind, shrink in (
+        ("EncodeJob", sweep_result.encode_pickle_shrink),
+        ("SweepJob", sweep_result.sweepjob_pickle_shrink),
+        ("Fig4PairJob", sweep_result.fig4_pickle_shrink),
+    ):
+        assert shrink >= 3.0, f"{kind} spec pickle only shrank {shrink:.1f}x"
+    _RECORDS.update(sweep_result.records())
+    print(f"\n{sweep_result.as_text()}")
+
+
+def test_sweep_speedup(sweep_result):
+    """Machine-shaped like the decode row: with >= 2 cores the shm
+    sweep must not lose to pickling; on one core only pathology fails."""
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert sweep_result.shm_speedup >= 0.9, (
+            f"shm sweep lost to pickling: {sweep_result.shm_speedup:.2f}x"
+        )
+    else:
+        assert sweep_result.shm_speedup >= 0.3, (
+            f"shm sweep overhead exploded: {sweep_result.shm_speedup:.2f}x"
+        )
 
 
 def test_transport_decode_speedup(result):

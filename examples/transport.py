@@ -30,7 +30,7 @@ from repro.codec.decoder import FrameIndex, decode_bitstream
 from repro.codec.encoder import encode_sequence
 from repro.parallel import ParseFrameJob, run_jobs
 from repro.streaming import DecodeSession
-from repro.transport import FrameArena
+from repro.transport import FrameArena, FrameStore
 
 
 def main() -> None:
@@ -54,7 +54,7 @@ def main() -> None:
 
     print("\nWhat one parse job costs to pickle:")
     with FrameArena(name_prefix="repro-example") as arena:
-        plain, packed = jobs[0], jobs[0].pack_shm(arena.place)
+        plain, packed = jobs[0], jobs[0].pack_shm(FrameStore(arena))
         print(f"  payload by value : {len(pickle.dumps(plain)):6d} bytes")
         print(f"  payload by handle: {len(pickle.dumps(packed)):6d} bytes "
               "(segment name + offset + shape + dtype)")

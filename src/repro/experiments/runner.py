@@ -53,10 +53,15 @@ optionally gates the tail against the full decode; ``gop-bench`` times
 serial vs parallel GOP encode and records ``BENCH_gop.json``.
 ``--pipeline``
 (on ``stream-decode`` and ``stream-bench``) overlaps symbol parse and
-reconstruction on a worker thread or spawned process; ``--shm`` (on
-``decode-bench``) and ``transport-bench`` exercise the shared-memory
-frame transport (:mod:`repro.transport`), recording what actually
-crosses the worker pipe into ``BENCH_transport.json``.
+reconstruction on a worker thread or spawned process.
+
+Every subcommand that shards work with ``--jobs`` also takes
+``--shm``/``--no-shm`` to pin the transport (shared-memory handles vs
+pickled payloads); the default is automatic — shm exactly when workers
+spawn — and stdout is byte-identical in every mode.
+``transport-bench`` measures the difference (parallel decode plus the
+experiment sweep specs), recording what actually crosses the worker
+pipe into ``BENCH_transport.json``.
 """
 
 from __future__ import annotations
@@ -113,9 +118,20 @@ def _progress(message: str) -> None:
     print(f"  ... {message}", file=sys.stderr, flush=True)
 
 
+def _use_shm(args: argparse.Namespace) -> bool | str:
+    """The transport mode the experiment drivers receive: an explicit
+    ``--shm``/``--no-shm`` wins, otherwise ``"auto"`` (shared memory
+    exactly when workers spawn).  Output is byte-identical either way —
+    the flag exists for benchmarking and for pinning one path in CI."""
+    return "auto" if args.shm is None else args.shm
+
+
 def cmd_fig4(args: argparse.Namespace) -> None:
     result = run_fig4(
-        seed=args.seed, jobs=args.jobs, progress=_progress if args.verbose else None
+        seed=args.seed,
+        jobs=args.jobs,
+        progress=_progress if args.verbose else None,
+        use_shm=_use_shm(args),
     )
     print(result.as_text())
     print()
@@ -126,14 +142,22 @@ def cmd_fig4(args: argparse.Namespace) -> None:
 def cmd_rd(args: argparse.Namespace, fps: int) -> None:
     config = _config_from_args(args, fps_list=(fps,))
     sweep = run_rd_sweep(
-        config, progress=_progress if args.verbose else None, jobs=args.jobs
+        config,
+        progress=_progress if args.verbose else None,
+        jobs=args.jobs,
+        use_shm=_use_shm(args),
     )
     print(sweep.as_text(fps))
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
     config = _config_from_args(args)
-    table = run_table1(config, progress=_progress if args.verbose else None, jobs=args.jobs)
+    table = run_table1(
+        config,
+        progress=_progress if args.verbose else None,
+        jobs=args.jobs,
+        use_shm=_use_shm(args),
+    )
     print(table.as_text())
     print(f"\nmax reduction vs FSBM: {table.max_reduction():.1%}")
 
@@ -181,7 +205,7 @@ def cmd_decode_bench(args: argparse.Namespace) -> int:
             **common,
             jobs=args.jobs,
             bitstream_version=args.bitstream_version,
-            use_shm=args.shm,
+            use_shm=bool(args.shm),
         )
         if getattr(result, "parallel_identical", None) is False:
             failure = "ERROR: v2 parallel parse decode diverged from the serial decode"
@@ -351,7 +375,10 @@ def cmd_stream_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_transport_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.transport_bench import run_transport_bench
+    from repro.experiments.transport_bench import (
+        run_transport_bench,
+        run_transport_sweep_bench,
+    )
 
     if args.sequences and len(args.sequences) > 1:
         print("error: transport-bench takes a single --sequences value", file=sys.stderr)
@@ -359,7 +386,7 @@ def cmd_transport_bench(args: argparse.Namespace) -> int:
     if args.qps and len(args.qps) > 1:
         print("error: transport-bench takes a single --qps value", file=sys.stderr)
         return 2
-    result = run_transport_bench(
+    common = dict(
         sequence=(args.sequences or ["foreman"])[0],
         frames=args.frames,
         qp=(args.qps or [16])[0],
@@ -368,15 +395,24 @@ def cmd_transport_bench(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         jobs=max(args.jobs, 2),
     )
+    result = run_transport_bench(**common)
     print(result.as_text())
+    sweep = run_transport_sweep_bench(**common)
+    print(sweep.as_text())
     if args.json:
         path = Path(args.json)
-        write_records(result.records(), path)
+        write_records({**result.records(), **sweep.records()}, path)
         print(f"recorded -> {path}", file=sys.stderr)
     if not result.decode_identical:
         print("ERROR: shared-memory decode diverged from the pickling decode", file=sys.stderr)
         return 1
-    if not result.no_leaks:
+    if not sweep.sweep_identical:
+        print("ERROR: shared-memory sweep diverged from the pickling sweep", file=sys.stderr)
+        return 1
+    if sweep.payload_bytes_per_job_shm != 0:
+        print("ERROR: shm-packed sweep specs still carry payload bytes", file=sys.stderr)
+        return 1
+    if not (result.no_leaks and sweep.no_leaks):
         print("ERROR: shared-memory segments leaked in /dev/shm", file=sys.stderr)
         return 1
     return 0
@@ -410,6 +446,7 @@ def cmd_gop_encode(args: argparse.Namespace) -> int:
                 n_ref_frames=args.n_ref_frames,
                 jobs=args.jobs,
                 progress=_progress if args.verbose else None,
+                use_shm=_use_shm(args),
             )
         else:
             result = Encoder(
@@ -532,7 +569,10 @@ def cmd_all(args: argparse.Namespace) -> None:
     sweep = timed(
         "rd sweep",
         lambda: run_rd_sweep(
-            config, progress=_progress if args.verbose else None, jobs=args.jobs
+            config,
+            progress=_progress if args.verbose else None,
+            jobs=args.jobs,
+            use_shm=_use_shm(args),
         ),
     )
     for fps in config.fps_list:
@@ -612,6 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fps", nargs="+", type=int, default=None, metavar="FPS",
         help="frame rates to sweep (default: 30 10)",
     )
+    common.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=None,
+        help="transport for parallel runs: --shm forces the shared-memory "
+        "path, --no-shm forces pickling; default is automatic (shm whenever "
+        "workers spawn).  Output is byte-identical in every mode",
+    )
     _add_backend_option(common)
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
@@ -650,12 +696,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="bitstream format for the encode: 1 = seed format (default), "
         "2 = byte-aligned start codes + frame lengths; v2 additionally "
         "verifies the frame index and the parallel symbol parse",
-    )
-    decode.add_argument(
-        "--shm", action="store_true",
-        help="run the parallel verification decodes over the shared-memory "
-        "frame transport (byte-identity smoke for the zero-copy path; "
-        "pair with --jobs 2 and/or --bitstream-version 2)",
     )
     stream_encode = sub.add_parser(
         "stream-encode",

@@ -21,6 +21,16 @@ real decode workload:
   survive in ``/dev/shm`` (``no_leaks`` folds into the gated
   ``identical`` flag).
 
+:func:`run_transport_sweep_bench` extends the same discipline to the
+experiment fan-out specs (``EncodeJob``, ``SweepJob``, ``Fig4PairJob``):
+each spec's shared-memory pickle is compared against its **by-value
+twin** — the same spec shape with the source frames riding inline,
+built against :class:`_ByValueStore` — which is what the spec *would*
+cost if sources traveled in the pickle.  (The historical plain specs
+are smaller still, but only because workers re-render the source from
+scratch; the twin prices the actual bytes moved.)  The sweep rows also
+time a real two-worker RD sweep under both transports.
+
 ``runner transport-bench --json BENCH_transport.json`` records it;
 ``benchmarks/test_bench_transport.py`` is the CI entry point.
 """
@@ -145,7 +155,7 @@ def run_transport_bench(
     ``jobs`` workers with ``use_shm`` off vs on, bit-identity against
     the serial decode verified before anything is timed.
     """
-    from repro.transport import FrameArena, export, materialize, payload_bytes
+    from repro.transport import FrameArena, FrameStore, export, materialize, payload_bytes
 
     if clip is None:
         clip = make_sequence(sequence, frames=frames, seed=seed)
@@ -161,7 +171,8 @@ def run_transport_bench(
     payload_plain = [payload_bytes(spec.payload) for spec in specs]
     result_plain = [len(pickle.dumps(p)) for p in parsed]
     with FrameArena(name_prefix="repro-bench") as arena:
-        packed = [spec.pack_shm(arena.place) for spec in specs]
+        store = FrameStore(arena)
+        packed = [spec.pack_shm(store) for spec in specs]
         spec_shm = [len(pickle.dumps(spec)) for spec in packed]
         # A packed spec's payload rides as a handle: zero payload bytes.
         payload_shm = [payload_bytes(spec.payload) if spec.payload else 0 for spec in packed]
@@ -201,6 +212,227 @@ def run_transport_bench(
         decode_plain_ms=plain_s * 1000.0,
         decode_shm_ms=shm_s * 1000.0,
         decode_identical=decode_identical,
+        no_leaks=no_leaks,
+        machine_cpu_count=os.cpu_count() or 1,
+    )
+
+
+class _ByValueStore:
+    """:class:`~repro.transport.FrameStore` stand-in whose "handles" are
+    the arrays themselves: packing a spec against it yields the
+    frames-inline twin the shm pickles are compared to.  The twin is a
+    sizing artifact only — it never runs."""
+
+    def place(self, array):
+        return array
+
+    def source_frames(self, name, config):
+        from repro.parallel.jobs import rendered_source
+
+        return rendered_source(name, config)
+
+    def rig_frames(self, motions, geometry, p, seed):
+        from repro.experiments.fig4_characterization import rig_frames_cached
+
+        return tuple(rig_frames_cached(tuple(motions), geometry, p, seed))
+
+
+def _spec_payload(job) -> float:
+    """Array/bytes payload riding in one job spec's fields (nested cell
+    lists included).  Zero for a fully packed shm spec — handles carry
+    no payload."""
+    from dataclasses import fields
+
+    from repro.parallel.jobs import JobSpec
+    from repro.transport import payload_bytes
+
+    total = 0.0
+    for spec_field in fields(job):
+        value = getattr(job, spec_field.name)
+        if isinstance(value, tuple) and value and isinstance(value[0], JobSpec):
+            total += sum(_spec_payload(item) for item in value)
+        else:
+            total += payload_bytes(value)
+    return total
+
+
+@dataclass(frozen=True)
+class TransportSweepResult:
+    """Transport cost of the experiment fan-out specs, both ways."""
+
+    sequence: str
+    frames: int
+    qp: int
+    jobs: int
+    #: Pickled spec bytes: by-value twin vs shm-packed, per spec kind.
+    encode_spec_bytes_value: float
+    encode_spec_bytes_shm: float
+    sweepjob_spec_bytes_value: float
+    sweepjob_spec_bytes_shm: float
+    fig4_spec_bytes_value: float
+    fig4_spec_bytes_shm: float
+    #: Mean payload bytes riding in one packed spec (shm must be 0).
+    payload_bytes_per_job_value: float
+    payload_bytes_per_job_shm: float
+    #: Two-worker RD sweep wall clock, pickling vs shm transport.
+    sweep_plain_ms: float
+    sweep_shm_ms: float
+    #: Both transports produced identical sweep cells.
+    sweep_identical: bool
+    #: /dev/shm swept clean after every pass.
+    no_leaks: bool
+    machine_cpu_count: int
+
+    @property
+    def identical(self) -> bool:
+        """The CI gate: identity held and nothing leaked."""
+        return self.sweep_identical and self.no_leaks
+
+    @property
+    def shm_speedup(self) -> float:
+        return self.sweep_plain_ms / self.sweep_shm_ms
+
+    @property
+    def encode_pickle_shrink(self) -> float:
+        return self.encode_spec_bytes_value / max(self.encode_spec_bytes_shm, 1.0)
+
+    @property
+    def sweepjob_pickle_shrink(self) -> float:
+        return self.sweepjob_spec_bytes_value / max(self.sweepjob_spec_bytes_shm, 1.0)
+
+    @property
+    def fig4_pickle_shrink(self) -> float:
+        return self.fig4_spec_bytes_value / max(self.fig4_spec_bytes_shm, 1.0)
+
+    def records(self) -> dict[str, float]:
+        """Sweep rows for ``BENCH_transport.json``.  ``shrink`` keys
+        gate as higher-is-better on every machine; the ``speedup`` key
+        is multi-core-only (``transport_`` prefix + single-core skip in
+        ``check_regression.py``); byte counts are info."""
+        return {
+            "transport_sweep_encode_spec_bytes_value": self.encode_spec_bytes_value,
+            "transport_sweep_encode_spec_bytes_shm": self.encode_spec_bytes_shm,
+            "transport_sweep_encode_pickle_shrink": self.encode_pickle_shrink,
+            "transport_sweep_sweepjob_spec_bytes_value": self.sweepjob_spec_bytes_value,
+            "transport_sweep_sweepjob_spec_bytes_shm": self.sweepjob_spec_bytes_shm,
+            "transport_sweep_sweepjob_pickle_shrink": self.sweepjob_pickle_shrink,
+            "transport_sweep_fig4_spec_bytes_value": self.fig4_spec_bytes_value,
+            "transport_sweep_fig4_spec_bytes_shm": self.fig4_spec_bytes_shm,
+            "transport_sweep_fig4_pickle_shrink": self.fig4_pickle_shrink,
+            "transport_sweep_payload_bytes_per_job_value": self.payload_bytes_per_job_value,
+            "transport_sweep_payload_bytes_per_job_shm": self.payload_bytes_per_job_shm,
+            "transport_sweep_plain_ms": self.sweep_plain_ms,
+            "transport_sweep_shm_ms": self.sweep_shm_ms,
+            "transport_sweep_shm_speedup": self.shm_speedup,
+            "machine_cpu_count": float(self.machine_cpu_count),
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"transport sweep bench: {self.sequence}, {self.frames} frames, "
+            f"qp={self.qp}, --jobs {self.jobs}\n"
+            f"  identical cells (shm == pickling): {self.sweep_identical}; "
+            f"/dev/shm clean: {self.no_leaks}\n"
+            f"  EncodeJob spec: {self.encode_spec_bytes_value:.0f} B by-value -> "
+            f"{self.encode_spec_bytes_shm:.0f} B shm "
+            f"({self.encode_pickle_shrink:.1f}x smaller)\n"
+            f"  SweepJob spec: {self.sweepjob_spec_bytes_value:.0f} B by-value -> "
+            f"{self.sweepjob_spec_bytes_shm:.0f} B shm "
+            f"({self.sweepjob_pickle_shrink:.1f}x smaller)\n"
+            f"  Fig4PairJob spec: {self.fig4_spec_bytes_value:.0f} B by-value -> "
+            f"{self.fig4_spec_bytes_shm:.0f} B shm "
+            f"({self.fig4_pickle_shrink:.1f}x smaller)\n"
+            f"  payload/job: {self.payload_bytes_per_job_value:.0f} B by-value -> "
+            f"{self.payload_bytes_per_job_shm:.0f} B shm\n"
+            f"  rd sweep --jobs {self.jobs}: plain {self.sweep_plain_ms:.1f} ms vs "
+            f"shm {self.sweep_shm_ms:.1f} ms -> {self.shm_speedup:.2f}x "
+            f"({self.machine_cpu_count} cpu)"
+        )
+
+
+def run_transport_sweep_bench(
+    sequence: str = "foreman",
+    frames: int = 12,
+    qp: int = 16,
+    estimator: str = "tss",
+    seed: int = 0,
+    rounds: int = 3,
+    jobs: int = 2,
+) -> TransportSweepResult:
+    """Measure what the experiment fan-out specs cost to ship.
+
+    Three spec kinds are packed twice — against a real
+    :class:`~repro.transport.FrameStore` (handles) and against the
+    by-value twin store (frames inline) — and their pickles compared;
+    then a small two-worker RD sweep runs under both transports,
+    identity-checked cell for cell and leak-checked in ``/dev/shm``.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.fig4_characterization import DEFAULT_GLOBAL_MOTIONS
+    from repro.experiments.rd_curves import run_rd_sweep
+    from repro.parallel.jobs import EncodeJob, Fig4PairJob, SweepJob
+    from repro.transport import FrameArena, FrameStore
+    from repro.video.frame import QCIF
+
+    config = ExperimentConfig(
+        # The sweep needs a valid experiment config; the decode bench
+        # accepts shorter clips, so clamp up to its 4-frame floor.
+        sequences=(sequence,), qps=(qp,), frames=max(frames, 4), seed=seed
+    )
+    encode_job = EncodeJob(
+        sequence=sequence, fps=config.fps_list[0], estimator=estimator, qp=qp, config=config
+    )
+    sweep_job = SweepJob(config=config, estimators=(estimator,))
+    fig4_job = Fig4PairJob(
+        pair_index=0, motions=DEFAULT_GLOBAL_MOTIONS, geometry=QCIF, seed=seed
+    )
+    specs = (encode_job, sweep_job, fig4_job)
+
+    by_value = _ByValueStore()
+    value_packed = [spec.pack_shm(by_value) for spec in specs]
+    value_sizes = [len(pickle.dumps(spec)) for spec in value_packed]
+    value_payloads = [_spec_payload(spec) for spec in value_packed]
+    with FrameArena(name_prefix="repro-bench") as arena:
+        store = FrameStore(arena)
+        shm_packed = [spec.pack_shm(store) for spec in specs]
+        shm_sizes = [len(pickle.dumps(spec)) for spec in shm_packed]
+        shm_payloads = [_spec_payload(spec) for spec in shm_packed]
+    no_leaks = not shm_segments()
+
+    plain_sweep = run_rd_sweep(config, estimators=(estimator,), jobs=jobs, use_shm=False)
+    shm_sweep = run_rd_sweep(config, estimators=(estimator,), jobs=jobs, use_shm=True)
+    sweep_identical = plain_sweep.cells == shm_sweep.cells
+    no_leaks = no_leaks and not shm_segments()
+
+    plain_s = _best_of(
+        lambda: run_rd_sweep(config, estimators=(estimator,), jobs=jobs, use_shm=False),
+        rounds,
+    )
+    shm_s = _best_of(
+        lambda: run_rd_sweep(config, estimators=(estimator,), jobs=jobs, use_shm=True),
+        rounds,
+    )
+    no_leaks = no_leaks and not shm_segments()
+
+    def mean(values) -> float:
+        return sum(values) / max(len(values), 1)
+
+    return TransportSweepResult(
+        sequence=sequence,
+        frames=frames,
+        qp=qp,
+        jobs=jobs,
+        encode_spec_bytes_value=float(value_sizes[0]),
+        encode_spec_bytes_shm=float(shm_sizes[0]),
+        sweepjob_spec_bytes_value=float(value_sizes[1]),
+        sweepjob_spec_bytes_shm=float(shm_sizes[1]),
+        fig4_spec_bytes_value=float(value_sizes[2]),
+        fig4_spec_bytes_shm=float(shm_sizes[2]),
+        payload_bytes_per_job_value=mean(value_payloads),
+        payload_bytes_per_job_shm=mean(shm_payloads),
+        sweep_plain_ms=plain_s * 1000.0,
+        sweep_shm_ms=shm_s * 1000.0,
+        sweep_identical=sweep_identical,
         no_leaks=no_leaks,
         machine_cpu_count=os.cpu_count() or 1,
     )

@@ -46,7 +46,7 @@ def encode_sequence_parallel(
     bitstream_version: int = 2,
     use_engine: bool = True,
     progress: ProgressFn | None = None,
-    use_shm: bool = False,
+    use_shm: bool | str = False,
 ) -> EncodeResult:
     """Encode ``sequence`` GOP-by-GOP across ``jobs`` workers.
 
@@ -63,7 +63,9 @@ def encode_sequence_parallel(
     ``use_shm=True`` ships each GOP's source planes to workers as
     shared-memory :class:`~repro.transport.FrameHandle` references
     (``GopEncodeJob.pack_shm``) instead of pickled bytes — byte-identical
-    output, cheaper transport for large sequences.
+    output, cheaper transport for large sequences.  ``"auto"`` defers
+    to :func:`~repro.parallel.pool.run_jobs`: shm exactly when workers
+    actually spawn.
     """
     if i_period is None:
         raise ValueError("parallel GOP encode needs i_period: without GOP cuts there "

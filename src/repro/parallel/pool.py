@@ -40,7 +40,8 @@ Shared-memory transport
 ``use_shm=True`` moves job payloads and result arrays through
 :mod:`repro.transport` instead of the executor's pickle stream: specs
 are repacked via ``JobSpec.pack_shm`` against a run-scoped
-:class:`~repro.transport.FrameArena` (workers attach segments on first
+:class:`~repro.transport.FrameStore` (a render-once memo over a
+:class:`~repro.transport.FrameArena`; workers attach segments on first
 use), and workers :func:`~repro.transport.export` their results'
 arrays into one-shot segments the parent materializes and unlinks as
 each chunk completes.  What crosses the pipe is handles — a few
@@ -48,6 +49,13 @@ hundred bytes per value.  Results are bit-identical to the default
 pickling path (``use_shm=False``, which remains exactly the historical
 code path); the flag only changes how bytes travel.  In-process runs
 (``workers <= 1``) have no boundary to cross and ignore the flag.
+
+``use_shm="auto"`` resolves per call: shared memory when the run will
+actually spawn workers (``workers >= 2`` and more than one job) *and*
+at least one spec overrides ``pack_shm`` — otherwise the pickling
+path.  This is what the experiment harnesses pass by default, so
+``--jobs N`` gets zero-copy for free without changing single-process
+behaviour.
 """
 
 from __future__ import annotations
@@ -186,7 +194,7 @@ def run_jobs(
     base_seed: int = 0,
     progress: ProgressFn | None = None,
     chunk_size: int = 1,
-    use_shm: bool = False,
+    use_shm: bool | str = False,
     backend: str | None = None,
 ) -> list:
     """Execute ``jobs`` and return their results in job order.
@@ -212,8 +220,11 @@ def run_jobs(
         it for large lists of sub-second jobs.
     use_shm:
         Move payload arrays through shared memory instead of the pickle
-        stream (see the module docstring).  Results are bit-identical
-        either way; ``False`` is exactly the historical pickling path.
+        stream (see the module docstring).  ``"auto"`` turns shm on
+        exactly when the run spawns workers and at least one spec is
+        shm-capable (overrides ``pack_shm``).  Results are
+        bit-identical in every mode; ``False`` is exactly the
+        historical pickling path.
     backend:
         Kernel-backend registry name to pin in workers (and, for the
         in-process path, around the run).  ``None`` ships the parent's
@@ -228,6 +239,7 @@ def run_jobs(
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     seeds = derive_job_seeds(base_seed, len(job_list))
     workers = max(1, int(workers))
+    use_shm = _resolve_use_shm(use_shm, job_list, workers)
     if workers == 1 or len(job_list) == 1:
         # Per-job reseeding must happen here too (or jobs consuming the
         # global RNG would differ between worker counts), but the
@@ -258,18 +270,41 @@ def run_jobs(
             job_list, seeds, workers, progress, chunk_size, use_shm=False,
             backend=spawn_backend,
         )
-    from repro.transport import FrameArena
+    from repro.transport import FrameArena, FrameStore
 
     # The arena must outlive every worker read of a packed spec, i.e.
-    # the whole parallel run; its exit unlinks all input segments.
-    # Result segments are one-shot exports the parent materializes (and
-    # unlinks) as each chunk completes — see _run_chunk.
+    # the whole parallel run; its exit unlinks all input segments
+    # (including every source the store rendered).  Result segments are
+    # one-shot exports the parent materializes (and unlinks) as each
+    # chunk completes — see _run_chunk.
     with FrameArena(name_prefix="repro-jobs") as arena:
-        packed = [job.pack_shm(arena.place) for job in job_list]
+        store = FrameStore(arena)
+        packed = [job.pack_shm(store) for job in job_list]
         return _run_parallel(
             packed, seeds, workers, progress, chunk_size, use_shm=True,
             backend=spawn_backend,
         )
+
+
+def _resolve_use_shm(use_shm: bool | str, job_list: list, workers: int) -> bool:
+    """Resolve the ``use_shm`` mode to a concrete bool.
+
+    ``"auto"`` means: shared memory exactly when the run will spawn
+    workers (``workers >= 2`` and more than one job — otherwise the
+    in-process fallback runs and there is no boundary to cross) and at
+    least one spec is shm-capable, i.e. overrides
+    ``JobSpec.pack_shm``.  An all-identity job list would pay arena
+    setup for nothing, so it stays on the pickling path.
+    """
+    if isinstance(use_shm, bool):
+        return use_shm
+    if use_shm != "auto":
+        raise ValueError(f"use_shm must be True, False or 'auto', got {use_shm!r}")
+    if workers < 2 or len(job_list) < 2:
+        return False
+    from repro.parallel.jobs import JobSpec
+
+    return any(type(job).pack_shm is not JobSpec.pack_shm for job in job_list)
 
 
 def _run_parallel(

@@ -11,9 +11,14 @@ of pickled arrays:
 * :func:`export` / :func:`materialize` — ownership transfer for worker
   results: one one-shot segment per value, unlinked by the receiver;
 * :func:`share` — swap a codec value's array leaves
-  (:class:`~repro.video.frame.Frame`,
-  :class:`~repro.codec.decoder.ParsedPicture`, lists/tuples) for
-  handles placed through an arena;
+  (:class:`~repro.video.frame.Frame`, whole
+  :class:`~repro.video.sequence.Sequence` renders,
+  :class:`~repro.codec.decoder.ParsedPicture`, bare arrays,
+  lists/tuples) for handles placed through an arena;
+* :class:`FrameStore` — memoizing render-once front-end over one arena:
+  the parent renders each distinct experiment source a single time and
+  every job spec that packs against the store receives the same
+  handles;
 * :func:`payload_bytes` / :func:`handle_count` — the accounting the
   transport benchmark and session stats report.
 
@@ -37,6 +42,7 @@ from repro.transport.arena import (
 from repro.transport.share import (
     SharedFrame,
     SharedParsedPicture,
+    SharedSequence,
     export,
     handle_count,
     iter_arrays,
@@ -44,13 +50,16 @@ from repro.transport.share import (
     payload_bytes,
     share,
 )
+from repro.transport.store import FrameStore
 
 __all__ = [
     "ATTACH_CACHE_SEGMENTS",
     "FrameArena",
     "FrameHandle",
+    "FrameStore",
     "SharedFrame",
     "SharedParsedPicture",
+    "SharedSequence",
     "attach_array",
     "detach_all",
     "detach_segment",

@@ -2,10 +2,12 @@
 
 :mod:`repro.transport.arena` moves single arrays; this module moves the
 *values* the job layer actually exchanges — :class:`~repro.video.frame.Frame`
-(three planes), :class:`~repro.codec.decoder.ParsedPicture` (levels, DC
-levels, motion arrays) and lists/tuples of either — by swapping every
-array leaf for a :class:`~repro.transport.arena.FrameHandle` and keeping
-the scalar skeleton as-is.  Values with no array leaves (``SweepCell``
+(three planes), whole :class:`~repro.video.sequence.Sequence` renders
+(→ :class:`SharedSequence`), :class:`~repro.codec.decoder.ParsedPicture`
+(levels, DC levels, motion arrays), bare ``ndarray`` leaves (Fig. 4 rig
+frames) and lists/tuples of any of those — by swapping every array leaf
+for a :class:`~repro.transport.arena.FrameHandle` and keeping the
+scalar skeleton as-is.  Values with no array leaves (``SweepCell``
 rows, floats, strings) pass through untouched: they were never a
 transport problem.
 
@@ -43,6 +45,7 @@ from repro.transport.arena import (
     unlink_segment,
 )
 from repro.video.frame import Frame
+from repro.video.sequence import Sequence
 
 
 @dataclass(frozen=True)
@@ -53,6 +56,20 @@ class SharedFrame:
     cb: FrameHandle
     cr: FrameHandle
     index: int
+
+
+@dataclass(frozen=True)
+class SharedSequence:
+    """A :class:`~repro.video.sequence.Sequence` with every frame's
+    planes in shared memory.
+
+    The scalar skeleton (name, frame rate, per-frame indices) rides in
+    the pickle; the pixels stay in the arena.  Hashable, so job specs
+    carrying one remain usable as cache/dedup keys."""
+
+    name: str
+    fps: float
+    frames: tuple[SharedFrame, ...]
 
 
 @dataclass(frozen=True)
@@ -84,13 +101,22 @@ def _parsed_arrays(parsed: ParsedPicture) -> list[np.ndarray]:
 
 def iter_arrays(value) -> list[np.ndarray]:
     """Every array leaf of ``value`` in sharing order (the traversal
-    :func:`share` uses, so a sizing pass and a placing pass agree)."""
+    :func:`share` uses, so a sizing pass and a placing pass agree).
+    Bare ``ndarray`` leaves count as themselves — a Fig. 4 rig frame or
+    a raw plane is as much payload as a wrapped one."""
+    if isinstance(value, np.ndarray):
+        return [value]
     if isinstance(value, Frame):
         return _frame_arrays(value)
     if isinstance(value, ParsedPicture):
         return _parsed_arrays(value)
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, Sequence):
         out: list[np.ndarray] = []
+        for frame in value:
+            out.extend(_frame_arrays(frame))
+        return out
+    if isinstance(value, (list, tuple)):
+        out = []
         for item in value:
             out.extend(iter_arrays(item))
         return out
@@ -100,12 +126,22 @@ def iter_arrays(value) -> list[np.ndarray]:
 def share(value, place: Callable[[np.ndarray], FrameHandle]):
     """Swap every array leaf of ``value`` for a handle from ``place``.
 
-    Lists/tuples recurse (preserving type); values with no array leaves
-    return unchanged.
+    Lists/tuples recurse (preserving type); a
+    :class:`~repro.video.sequence.Sequence` becomes a
+    :class:`SharedSequence`; bare arrays become bare handles; values
+    with no array leaves return unchanged.
     """
+    if isinstance(value, np.ndarray):
+        return place(value)
     if isinstance(value, Frame):
         return SharedFrame(
             y=place(value.y), cb=place(value.cb), cr=place(value.cr), index=value.index
+        )
+    if isinstance(value, Sequence):
+        return SharedSequence(
+            name=value.name,
+            fps=value.fps,
+            frames=tuple(share(frame, place) for frame in value),
         )
     if isinstance(value, ParsedPicture):
         return SharedParsedPicture(
@@ -151,8 +187,14 @@ def materialize(value, unlink: bool = True):
         return read_array(handle)
 
     def rebuild(node):
+        if isinstance(node, FrameHandle):
+            return fetch(node)
         if isinstance(node, SharedFrame):
             return Frame(fetch(node.y), fetch(node.cb), fetch(node.cr), index=node.index)
+        if isinstance(node, SharedSequence):
+            return Sequence(
+                (rebuild(frame) for frame in node.frames), fps=node.fps, name=node.name
+            )
         if isinstance(node, SharedParsedPicture):
             return ParsedPicture(
                 header=node.header,
@@ -180,9 +222,13 @@ def materialize(value, unlink: bool = True):
 def payload_bytes(value) -> int:
     """Bytes of array/bytes payload ``value`` would drag through a
     pickle: the quantity shared-memory transport removes.  Handles and
-    scalar skeletons do not count."""
+    scalar skeletons do not count.  Containers recurse, so ``bytes``
+    leaves nested in Fig. 4 frame-pair tuples or GOP plane lists are
+    counted too, not just top-level blobs."""
     if isinstance(value, (bytes, bytearray, memoryview)):
         return len(value)
+    if isinstance(value, (list, tuple)):
+        return sum(payload_bytes(item) for item in value)
     return sum(arr.nbytes for arr in iter_arrays(value))
 
 
@@ -192,6 +238,8 @@ def handle_count(value) -> int:
         return 1
     if isinstance(value, SharedFrame):
         return 3
+    if isinstance(value, SharedSequence):
+        return handle_count(value.frames)
     if isinstance(value, SharedParsedPicture):
         members = (value.levels, value.dc_levels, value.hx, value.hy, value.modes, value.ref_idx)
         return sum(1 for h in members if h is not None)

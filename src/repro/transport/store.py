@@ -1,0 +1,117 @@
+"""Shared source-frame store: render once, hand out handles everywhere.
+
+The experiment harnesses fan one parameter sweep out into dozens of job
+specs that all read the *same* rendered source material — every
+``(fps, estimator, Qp)`` cell of an RD sweep encodes the same 30 fps
+render, every Fig. 4 pair job reads two frames of the same rig stack.
+Before this module each worker process re-rendered those sources on
+first use (memoized per process, so the cost repeated once per worker
+per source — and entirely hid the bytes from the transport ledger).
+
+:class:`FrameStore` closes that gap for the shared-memory transport:
+the **parent** renders each distinct source exactly once, places the
+planes into a :class:`~repro.transport.arena.FrameArena`, and hands out
+the same handle tuples to every job spec that asks — keyed by
+``(sequence, frame_count, seed, dims)`` for synthesis sequences and by
+the rig identity for Fig. 4 frame stacks.  Workers attach the segments
+on first use through the arena's bounded LRU, exactly like every other
+handle; the arena (owned by :func:`repro.parallel.pool.run_jobs`)
+unlinks everything on exit, so the PR 6 hygiene rules — leak-free on
+success, failure and cancel paths — carry over unchanged.
+
+The store is also the object ``JobSpec.pack_shm`` receives: simple
+specs use :meth:`place` (the arena's single-array surface), the
+experiment specs use the memoized :meth:`source_frames` /
+:meth:`rig_frames` so N specs over one source cost one render and one
+copy into shared memory, not N.
+
+Layering note: the render recipes live above this module
+(:func:`repro.parallel.jobs.rendered_source`,
+:func:`repro.experiments.fig4_characterization.rig_frames_cached`), so
+they are imported lazily at call time — the parent's existing render
+memos keep working (including ``borrowed_renders`` lends), and no
+import cycle forms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.transport.arena import FrameArena, FrameHandle
+from repro.transport.share import SharedSequence, share
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+    from repro.video.frame import FrameGeometry
+
+
+class FrameStore:
+    """Memoizing front-end over one :class:`FrameArena`.
+
+    Parameters
+    ----------
+    arena:
+        The arena that owns every placed segment.  The store never
+        manages lifetime itself — close the arena (or let its context
+        exit) and every handle the store handed out dies with it.
+
+    The store must stay in the process that owns the arena; only the
+    handles it returns cross the spawn boundary.
+    """
+
+    def __init__(self, arena: FrameArena) -> None:
+        self._arena = arena
+        self._sources: dict[tuple, SharedSequence] = {}
+        self._rigs: dict[tuple, tuple[FrameHandle, ...]] = {}
+
+    # -- the single-array surface (what simple specs need) ---------------
+
+    def place(self, array: np.ndarray | bytes) -> FrameHandle:
+        """Place one array/bytes payload; delegates to the arena."""
+        return self._arena.place(array)
+
+    # -- memoized whole-source placement ----------------------------------
+
+    def source_frames(self, name: str, config: "ExperimentConfig") -> SharedSequence:
+        """The 30 fps source render for ``name`` under ``config`` as a
+        :class:`SharedSequence`, rendered and placed **exactly once**
+        per distinct ``(sequence, frame_count, seed, dims)`` — every
+        sweep cell of the same clip receives the same handles."""
+        key = (name, config.frames, config.seed, config.geometry)
+        shared = self._sources.get(key)
+        if shared is None:
+            from repro.parallel.jobs import rendered_source
+
+            shared = share(rendered_source(name, config), self._arena.place)
+            self._sources[key] = shared
+        return shared
+
+    def rig_frames(
+        self,
+        motions: tuple[tuple[int, int], ...],
+        geometry: "FrameGeometry",
+        p: int,
+        seed: int,
+    ) -> tuple[FrameHandle, ...]:
+        """The Fig. 3 rig's frame stack as one handle per frame,
+        rendered and placed once per rig identity; pair jobs slice out
+        the two handles they observe."""
+        key = (tuple(motions), geometry, p, seed)
+        handles = self._rigs.get(key)
+        if handles is None:
+            from repro.experiments.fig4_characterization import rig_frames_cached
+
+            frames = rig_frames_cached(tuple(motions), geometry, p, seed)
+            handles = tuple(self._arena.place(frame) for frame in frames)
+            self._rigs[key] = handles
+        return handles
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def distinct_sources(self) -> int:
+        """How many distinct renders the store placed (tests assert the
+        render-once property through this)."""
+        return len(self._sources) + len(self._rigs)

@@ -201,7 +201,7 @@ class TestSharedMemoryTransport:
         """Specs without array payloads ride the pickle stream unchanged
         (pack_shm is the base-class identity)."""
         job = SquareJob(5)
-        assert job.pack_shm(place=None) is job
+        assert job.pack_shm(store=None) is job
 
     def test_progress_fires_per_completed_job_despite_chunking(self):
         """The ProgressFn guarantee: exactly one call per job as it
@@ -392,7 +392,7 @@ class TestGopShmTransport:
         """pack_shm replaces pickled plane bytes with FrameHandles; the
         worker-side frame iteration reconstructs identical frames."""
         from repro.parallel.jobs import GopEncodeJob
-        from repro.transport import FrameArena
+        from repro.transport import FrameArena, FrameStore
 
         frames = list(clip)[0:3]
         geometry = clip.geometry
@@ -412,12 +412,113 @@ class TestGopShmTransport:
             estimator_kwargs=(),
         )
         with FrameArena(name_prefix="repro-jobs-test") as arena:
-            packed = job.pack_shm(arena.place)
+            packed = job.pack_shm(FrameStore(arena))
             assert packed.planes is None
             assert len(packed.plane_handles) == 3
             for original, shipped in zip(job._frames(), packed._frames()):
                 assert original == shipped
             assert packed.describe() == job.describe()
+        assert not self.shm_leftovers()
+
+
+class TestExperimentShmTransport:
+    """The experiment fan-out specs — ``EncodeJob``, ``SweepJob``,
+    ``Fig4PairJob`` — travel zero-copy: sources render once in the
+    parent through a :class:`FrameStore`, workers read handles, results
+    are identical and ``/dev/shm`` ends clean on every path."""
+
+    FIG4_KWARGS = dict(
+        motions=((2, -1), (-3, 2), (5, 4)),
+        geometry=FrameGeometry(96, 80),
+        p=7,
+        seed=3,
+    )
+
+    @staticmethod
+    def shm_leftovers() -> list[str]:
+        return sorted(glob.glob("/dev/shm/repro-*"))
+
+    def test_encode_job_pack_shm_runs_identically(self):
+        from repro.transport import FrameArena, FrameStore
+
+        job = EncodeJob("miss_america", 30, "pbm", 16, TINY)
+        plain = job.run()
+        with FrameArena(name_prefix="repro-jobs-test") as arena:
+            store = FrameStore(arena)
+            packed = job.pack_shm(store)
+            assert packed.source is not None
+            assert packed.run() == plain
+            # Re-packing an already-packed spec is the identity.
+            assert packed.pack_shm(store) is packed
+        assert not self.shm_leftovers()
+
+    def test_store_renders_each_distinct_source_once(self):
+        from repro.transport import FrameArena, FrameStore
+
+        with FrameArena(name_prefix="repro-jobs-test") as arena:
+            store = FrameStore(arena)
+            cells = SweepJob(TINY, ("pbm", "acbm")).expand()
+            packed = [cell.pack_shm(store) for cell in cells]
+            assert store.distinct_sources == 1
+            # Every cell of the one clip carries the *same* handles —
+            # one placed copy, no duplicate slabs.
+            assert all(spec.source is packed[0].source for spec in packed)
+        assert not self.shm_leftovers()
+
+    def test_sweep_job_pack_shm_packs_cells(self):
+        from repro.transport import FrameArena, FrameStore
+
+        job = SweepJob(TINY, ("pbm",))
+        plain = job.run()
+        with FrameArena(name_prefix="repro-jobs-test") as arena:
+            packed = job.pack_shm(FrameStore(arena))
+            assert packed.cells is not None
+            assert all(cell.source is not None for cell in packed.cells)
+            assert packed.expand() == packed.cells
+            assert packed.run() == plain
+        assert not self.shm_leftovers()
+
+    def test_fig4_pair_job_pack_shm_runs_identically(self):
+        from repro.transport import FrameArena, FrameStore
+
+        job = Fig4PairJob(pair_index=1, **self.FIG4_KWARGS)
+        plain = job.run()
+        with FrameArena(name_prefix="repro-jobs-test") as arena:
+            packed = job.pack_shm(FrameStore(arena))
+            assert packed.pair is not None
+            observations = packed.run()
+            assert observations == plain
+            # The worker only holds two frames, yet the observations
+            # must still carry the rig-wide pair index.
+            assert all(obs.frame_pair == 1 for obs in observations)
+        assert not self.shm_leftovers()
+
+    def test_use_shm_auto_resolution(self):
+        from repro.parallel.pool import _resolve_use_shm
+
+        encode_jobs = [EncodeJob("miss_america", 30, "pbm", qp, TINY) for qp in (30, 16)]
+        plain_jobs = [SquareJob(1), SquareJob(2)]
+        assert _resolve_use_shm("auto", encode_jobs, workers=2) is True
+        assert _resolve_use_shm("auto", encode_jobs, workers=1) is False
+        assert _resolve_use_shm("auto", encode_jobs[:1], workers=2) is False
+        assert _resolve_use_shm("auto", plain_jobs, workers=2) is False
+        assert _resolve_use_shm(True, plain_jobs, workers=1) is True
+        with pytest.raises(ValueError, match="use_shm"):
+            run_jobs(plain_jobs, workers=1, use_shm="maybe")
+
+    def test_experiment_jobs_spawned_shm_identical_and_leak_free(self):
+        jobs = list(SweepJob(TINY, ("pbm",)).expand()) + [
+            Fig4PairJob(pair_index=0, **self.FIG4_KWARGS)
+        ]
+        serial = run_jobs(jobs, workers=1)
+        shm = run_jobs(jobs, workers=2, use_shm=True)
+        assert shm == serial
+        assert not self.shm_leftovers()
+
+    def test_experiment_shm_failure_path_leaves_dev_shm_clean(self):
+        jobs = list(SweepJob(TINY, ("pbm",)).expand()) + [FailJob()]
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_jobs(jobs, workers=2, use_shm=True)
         assert not self.shm_leftovers()
 
 

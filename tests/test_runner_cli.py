@@ -79,6 +79,11 @@ class TestParser:
             ["decode-bench", "--bitstream-version", "2", "--jobs", "2", "--shm"]
         )
         assert args.shm is True
+        # Every --jobs subcommand takes the tri-state --shm/--no-shm.
+        for command in ("fig4", "fig5", "fig6", "table1", "all"):
+            assert parser.parse_args([command]).shm is None
+            assert parser.parse_args([command, "--shm"]).shm is True
+            assert parser.parse_args([command, "--no-shm"]).shm is False
         args = parser.parse_args(["stream-decode", "s.v2", "--pipeline", "process"])
         assert args.pipeline == "process"
         assert parser.parse_args(["stream-decode", "s.v2"]).pipeline == "off"
@@ -121,6 +126,32 @@ class TestMain:
         out = capsys.readouterr().out
         assert "miss_america" in out
         assert "acbm" in out and "fsbm" in out and "pbm" in out
+
+    @pytest.mark.parametrize(
+        "base_argv",
+        [
+            pytest.param(
+                ["fig5", "--frames", "4", "--sequences", "miss_america",
+                 "--qps", "30", "16"],
+                id="fig5",
+            ),
+            pytest.param(["fig4"], id="fig4"),
+        ],
+    )
+    def test_stdout_byte_identical_across_jobs_and_shm(self, capsys, base_argv):
+        """The transport is invisible in the report: jobs ∈ {1, 2} ×
+        shm ∈ {on, off} print byte-identical stdout, and nothing
+        outlives the run in /dev/shm."""
+        import glob
+
+        outputs = []
+        for jobs in ("1", "2"):
+            for shm_flag in ("--shm", "--no-shm"):
+                assert main(base_argv + ["--jobs", jobs, shm_flag]) == 0
+                outputs.append(capsys.readouterr().out)
+                assert not glob.glob("/dev/shm/repro-*")
+        assert outputs[0]  # the runs actually printed a report
+        assert len(set(outputs)) == 1
 
     def test_decode_bench_small_run(self, capsys, tmp_path):
         """A 2-frame encode→decode round trip: verifies bit-identity,
@@ -265,8 +296,8 @@ class TestMain:
 
     def test_transport_bench_small_run(self, capsys, tmp_path):
         """The zero-copy claims in miniature: spec/result pickles shrink
-        to handles, the 2-worker shm decode is bit-identical, and the
-        run leaves /dev/shm clean."""
+        to handles, the 2-worker shm decode and RD sweep are
+        bit-identical, and the run leaves /dev/shm clean."""
         import json
 
         out_path = tmp_path / "BENCH_transport.json"
@@ -277,6 +308,7 @@ class TestMain:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "bit-identical" in out and "True" in out
+        assert "transport sweep bench" in out
         records = json.loads(out_path.read_text())
         assert set(records) == {
             "transport_spec_pickle_bytes_plain", "transport_spec_pickle_bytes_shm",
@@ -284,12 +316,29 @@ class TestMain:
             "transport_payload_bytes_per_frame_shm",
             "transport_result_pickle_bytes_plain", "transport_result_pickle_bytes_shm",
             "transport_decode_plain_ms", "transport_decode_shm_ms",
-            "transport_shm_speedup", "machine_cpu_count",
+            "transport_shm_speedup",
+            "transport_sweep_encode_spec_bytes_value",
+            "transport_sweep_encode_spec_bytes_shm",
+            "transport_sweep_encode_pickle_shrink",
+            "transport_sweep_sweepjob_spec_bytes_value",
+            "transport_sweep_sweepjob_spec_bytes_shm",
+            "transport_sweep_sweepjob_pickle_shrink",
+            "transport_sweep_fig4_spec_bytes_value",
+            "transport_sweep_fig4_spec_bytes_shm",
+            "transport_sweep_fig4_pickle_shrink",
+            "transport_sweep_payload_bytes_per_job_value",
+            "transport_sweep_payload_bytes_per_job_shm",
+            "transport_sweep_plain_ms", "transport_sweep_shm_ms",
+            "transport_sweep_shm_speedup",
+            "machine_cpu_count",
         } | STAMP_KEYS
         assert records["transport_payload_bytes_per_frame_shm"] == 0.0
         assert records["transport_spec_pickle_bytes_shm"] < records[
             "transport_spec_pickle_bytes_plain"
         ]
+        assert records["transport_sweep_payload_bytes_per_job_shm"] == 0.0
+        for kind in ("encode", "sweepjob", "fig4"):
+            assert records[f"transport_sweep_{kind}_pickle_shrink"] >= 3.0
 
     def test_decode_bench_v2(self, capsys, tmp_path):
         """--bitstream-version 2 verifies the frame index and the

@@ -9,10 +9,15 @@ The contracts under test:
   wasn't released;
 * **ownership transfer** — :func:`export` / :func:`materialize` move a
   value through one one-shot segment and leave ``/dev/shm`` clean;
-* **typed sharing** — ``Frame`` and ``ParsedPicture`` survive the
+* **typed sharing** — ``Frame``, whole ``Sequence`` renders
+  (``SharedSequence``), bare arrays and ``ParsedPicture`` survive the
   handle round trip bit-identically, scalar skeletons pass through
   untouched, and the accounting (:func:`payload_bytes`,
-  :func:`handle_count`) matches what actually moved.
+  :func:`handle_count`) matches what actually moved — including nested
+  Fig. 4 frame-pair tuples and sweep source lists;
+* **render-once store** — :class:`FrameStore` places each distinct
+  experiment source a single time and hands every caller the same
+  handles.
 
 Spawn-side attach-on-first-use is exercised end to end by the
 ``use_shm`` pool tests in ``tests/test_parallel.py`` — these tests stay
@@ -23,6 +28,8 @@ import glob
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.codec.decoder import FrameIndex
 from repro.codec.encoder import encode_sequence
@@ -30,6 +37,8 @@ from repro.streaming.pipeline import parse_payload
 from repro.transport import (
     FrameArena,
     FrameHandle,
+    FrameStore,
+    SharedSequence,
     attach_array,
     detach_segment,
     export,
@@ -283,3 +292,144 @@ class TestShare:
         assert payload_bytes([frame, frame]) == 2 * raw
         assert payload_bytes(b"\x00" * 17) == 17
         assert payload_bytes("scalar") == 0
+
+    def test_sequence_round_trip_via_arena(self):
+        clip = Sequence(
+            [random_frame(seed=i, index=i) for i in range(3)], fps=12.5, name="clip"
+        )
+        with FrameArena(name_prefix="repro-t-seq") as arena:
+            shared = share(clip, arena.place)
+            assert isinstance(shared, SharedSequence)
+            assert shared.name == "clip" and shared.fps == 12.5
+            assert handle_count(shared) == 9  # three planes per frame
+            rebuilt = materialize(shared, unlink=False)
+            assert isinstance(rebuilt, Sequence)
+            assert rebuilt.name == clip.name and rebuilt.fps == clip.fps
+            assert list(rebuilt) == list(clip)
+        assert not shm_entries("repro-t-seq")
+
+    def test_bare_array_round_trip(self):
+        array = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        with FrameArena(name_prefix="repro-t-arr") as arena:
+            shared = share(array, arena.place)
+            assert isinstance(shared, FrameHandle)
+            assert handle_count(shared) == 1
+            np.testing.assert_array_equal(materialize(shared, unlink=False), array)
+        assert not shm_entries("repro-t-arr")
+
+    def test_payload_bytes_recurses_experiment_shapes(self):
+        """The accounting covers what experiment specs actually carry:
+        whole Sequence renders (sweep sources) and bare-array frame
+        pairs (Fig. 4), nested inside ordinary containers."""
+        per_frame = 32 * 32 + 2 * 16 * 16
+        clip = Sequence([random_frame(seed=i) for i in range(2)], fps=30, name="s")
+        pair = (
+            np.zeros((8, 8), dtype=np.uint8),
+            np.ones((8, 8), dtype=np.uint8),
+        )
+        assert payload_bytes(clip) == 2 * per_frame
+        assert payload_bytes(pair) == 128
+        assert payload_bytes([clip, pair, "label"]) == 2 * per_frame + 128
+
+
+# -- the render-once store -------------------------------------------------
+
+
+class TestFrameStore:
+    def test_source_frames_rendered_once_and_identical(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.parallel.jobs import rendered_source
+
+        config = ExperimentConfig(
+            sequences=("miss_america",), qps=(16,), fps_list=(30,), frames=4
+        )
+        with FrameArena(name_prefix="repro-t-store") as arena:
+            store = FrameStore(arena)
+            first = store.source_frames("miss_america", config)
+            second = store.source_frames("miss_america", config)
+            assert first is second  # one render, one placement
+            assert store.distinct_sources == 1
+            rebuilt = materialize(first, unlink=False)
+            assert list(rebuilt) == list(rendered_source("miss_america", config))
+        assert not shm_entries("repro-t-store")
+
+    def test_rig_frames_memoized_and_identical(self):
+        from repro.experiments.fig4_characterization import rig_frames_cached
+
+        motions = ((2, -1), (-3, 2))
+        geometry = FrameGeometry(96, 80)
+        with FrameArena(name_prefix="repro-t-rig") as arena:
+            store = FrameStore(arena)
+            first = store.rig_frames(motions, geometry, p=7, seed=3)
+            second = store.rig_frames(motions, geometry, p=7, seed=3)
+            assert first is second
+            assert len(first) == len(motions) + 1
+            assert store.distinct_sources == 1
+            for handle, frame in zip(
+                first, rig_frames_cached(motions, geometry, 7, 3)
+            ):
+                np.testing.assert_array_equal(read_array(handle), frame)
+        assert not shm_entries("repro-t-rig")
+
+    def test_place_delegates_to_arena(self):
+        with FrameArena(name_prefix="repro-t-deleg") as arena:
+            store = FrameStore(arena)
+            handle = store.place(np.arange(6, dtype=np.int16))
+            np.testing.assert_array_equal(
+                read_array(handle), np.arange(6, dtype=np.int16)
+            )
+        assert not shm_entries("repro-t-deleg")
+
+
+# -- property round trips --------------------------------------------------
+
+
+class TestShareProperties:
+    """Hypothesis round trips: whatever the dims and payloads, share →
+    materialize is the identity and ``/dev/shm`` ends clean."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        height=st.integers(4, 24),
+        width=st.integers(4, 24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fig4_frame_pair_round_trip(self, seed, height, width):
+        rng = np.random.default_rng(seed)
+        pair = (
+            rng.integers(0, 256, (height, width), dtype=np.uint8),
+            rng.integers(0, 256, (height, width), dtype=np.uint8),
+        )
+        shared = export(pair, name_prefix="repro-t-prop")
+        assert handle_count(shared) == 2
+        assert all(isinstance(h, FrameHandle) for h in shared)
+        rebuilt = materialize(shared, unlink=True)
+        assert isinstance(rebuilt, tuple)
+        for original, copy in zip(pair, rebuilt):
+            np.testing.assert_array_equal(copy, original)
+        assert not shm_entries("repro-t-prop")
+
+    @given(
+        seeds=st.lists(st.integers(0, 2**16), min_size=1, max_size=3),
+        fps=st.sampled_from([10.0, 15.0, 30.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sweep_source_list_round_trip(self, seeds, fps):
+        clips = [
+            Sequence(
+                [random_frame(seed=seed + i, index=i) for i in range(2)],
+                fps=fps,
+                name=f"clip{position}",
+            )
+            for position, seed in enumerate(seeds)
+        ]
+        with FrameArena(name_prefix="repro-t-prop") as arena:
+            shared = share(clips, arena.place)
+            assert isinstance(shared, list)
+            assert all(isinstance(s, SharedSequence) for s in shared)
+            assert handle_count(shared) == 6 * len(clips)
+            rebuilt = materialize(shared, unlink=False)
+            for original, copy in zip(clips, rebuilt):
+                assert copy.name == original.name and copy.fps == original.fps
+                assert list(copy) == list(original)
+        assert not shm_entries("repro-t-prop")
