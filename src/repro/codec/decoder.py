@@ -77,6 +77,7 @@ from repro.me.engine import (
 )
 from repro.me.subpel import predict_block
 from repro.me.types import MotionField, MotionVector
+from repro.obs import metrics, trace
 from repro.video.frame import Frame, FrameGeometry
 
 #: Bits in a picture header (after any version-2 framing).
@@ -84,6 +85,9 @@ _HEADER_BITS = PICTURE_HEADER_BITS
 
 #: Byte prefix shared by all version-2 frame start codes.
 _V2_PREFIX = FRAME_START_CODE.to_bytes(4, "big")[:3]
+
+_MET_FRAMES_IN = metrics.counter("decode.frames")
+_MET_PARSES = metrics.counter("decode.pictures_parsed")
 
 
 @dataclass(frozen=True)
@@ -491,7 +495,9 @@ def parse_picture(reader) -> ParsedPicture:
     Pure symbol work — no pixels are touched, which is what makes this
     half of the decoder safe to run per-frame in parallel workers.
     """
-    return parse_picture_body(reader, read_picture_header(reader))
+    _MET_PARSES.inc()
+    with trace.span("decode.parse"):
+        return parse_picture_body(reader, read_picture_header(reader))
 
 
 def parse_bitstream_symbols(bitstream: bytes, reader_factory=BitReader) -> list[ParsedPicture]:
@@ -682,6 +688,15 @@ def reconstruct_picture(
     coefficients stay zero, so ``rint(0 + pred)`` reproduces the
     reference copy bit-for-bit.
     """
+    with trace.span("decode.reconstruct"):
+        return _reconstruct_picture(parsed, reference, frame_index)
+
+
+def _reconstruct_picture(
+    parsed: ParsedPicture,
+    reference: "Frame | list[Frame] | None",
+    frame_index: int = 0,
+) -> Frame:
     header = parsed.header
     if reference is None:
         references: list[Frame] = []
@@ -797,26 +812,32 @@ class Decoder:
         return self._reader.bits_consumed // 8 + length
 
     def decode_frame(self) -> Frame:
-        expected_end = self._read_framing() if self.version == 2 else None
-        header = read_picture_header(self._reader)
-        if header.frame_type == "P" and not self._references:
-            raise ValueError("P-frame without a decoded reference")
-        if self._use_engine:
-            parsed = parse_picture_body(self._reader, header)
-            frame = reconstruct_picture(parsed, self._references, self._frame_index)
-        elif header.intra_pred:
-            frame = self._decode_intra_pred_per_block(header)
-        elif header.frame_type == "I":
-            frame = self._decode_intra_per_block(header)
-        else:
-            frame = self._decode_inter_per_block(header)
-        if expected_end is not None:
-            check_frame_length(self._reader, expected_end)
-        if header.frame_type == "I":
-            self._references = [frame]
-        else:
-            self._references = [frame, *self._references][:MAX_REF_FRAMES]
-        self._frame_index += 1
+        with trace.span("decode.frame", frame=self._frame_index) as frame_span:
+            expected_end = self._read_framing() if self.version == 2 else None
+            with trace.span("decode.parse") as parse_span:
+                header = read_picture_header(self._reader)
+                if header.frame_type == "P" and not self._references:
+                    raise ValueError("P-frame without a decoded reference")
+                parse_span.set(type=header.frame_type)
+                if self._use_engine:
+                    parsed = parse_picture_body(self._reader, header)
+            if self._use_engine:
+                frame = reconstruct_picture(parsed, self._references, self._frame_index)
+            elif header.intra_pred:
+                frame = self._decode_intra_pred_per_block(header)
+            elif header.frame_type == "I":
+                frame = self._decode_intra_per_block(header)
+            else:
+                frame = self._decode_inter_per_block(header)
+            if expected_end is not None:
+                check_frame_length(self._reader, expected_end)
+            if header.frame_type == "I":
+                self._references = [frame]
+            else:
+                self._references = [frame, *self._references][:MAX_REF_FRAMES]
+            frame_span.set(type=header.frame_type)
+            self._frame_index += 1
+        _MET_FRAMES_IN.inc()
         return frame
 
     # -- seed per-block reconstruction (bit-exactness reference) ---------
@@ -984,7 +1005,11 @@ def decode_bitstream(
         out: list[Frame] = []
         references: list[Frame] = []
         for i, picture in enumerate(parsed):
-            frame = reconstruct_picture(picture, references, start_frame + i)
+            with trace.span(
+                "decode.frame", frame=start_frame + i, type=picture.header.frame_type
+            ):
+                frame = reconstruct_picture(picture, references, start_frame + i)
+            _MET_FRAMES_IN.inc()
             if picture.header.frame_type == "I":
                 references = [frame]
             else:

@@ -60,6 +60,7 @@ from repro.me.engine import (
 )
 from repro.me.estimator import MotionEstimator, create_estimator
 from repro.me.stats import SearchStats
+from repro.obs import metrics, trace
 from repro.me.subpel import predict_block
 from repro.me.types import MotionField, MotionVector
 from repro.video.frame import Frame
@@ -98,6 +99,19 @@ FRAME_LENGTH_BITS = 32
 #: incremental scanners) — they must agree on which trailing fragments
 #: are too short to open a frame.
 PICTURE_HEADER_BITS = START_CODE_BITS + 1 + 5 + 5 + 16
+
+# Registry instruments (identity-stable across resets, so module-level
+# caching is safe).  The bits-by-syntax-element split is the ledger the
+# ROADMAP's rate-control item needs: header + mode + MV + coefficients
+# sums to every non-framing bit the encoder emits.
+_MET_FRAMES_OUT = metrics.counter("encode.frames")
+_MET_BITS_OUT = metrics.counter("encode.bits")
+_MET_BITS_PER_FRAME = metrics.histogram("encode.bits_per_frame")
+_MET_BITS_HEADER = metrics.counter("encode.bits.headers")
+_MET_BITS_MODE = metrics.counter("encode.bits.mode")
+_MET_BITS_MV = metrics.counter("encode.bits.mv")
+_MET_BITS_COEF = metrics.counter("encode.bits.coefficients")
+_MET_SAD_EVALS = metrics.counter("me.sad_evaluations")
 
 
 @dataclass(frozen=True)
@@ -300,69 +314,92 @@ class Encoder:
         drive, which is what makes their emitted bytes identical by
         construction.
         """
-        refs = self._as_reference_list(references)
-        framed = self.bitstream_version == 2
-        if framed:
-            frame_start_bits = writer.bit_count
-            writer.align()
-            writer.write_bits(FRAME_START_CODE, FRAME_START_CODE_BITS)
-            length_pos = writer.byte_length
-            writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
-            payload_start = writer.byte_length
-        if self.is_intra_position(position):
-            if self.gop_syntax:
-                bits, recon, coef_bits = self._encode_intra_pred_frame(writer, frame)
+        with trace.span("encode.frame", position=position) as frame_span:
+            refs = self._as_reference_list(references)
+            framed = self.bitstream_version == 2
+            if framed:
+                frame_start_bits = writer.bit_count
+                writer.align()
+                writer.write_bits(FRAME_START_CODE, FRAME_START_CODE_BITS)
+                length_pos = writer.byte_length
+                writer.write_bits(0, FRAME_LENGTH_BITS)  # backpatched below
+                payload_start = writer.byte_length
+            if self.is_intra_position(position):
+                if self.gop_syntax:
+                    bits, recon, coef_bits = self._encode_intra_pred_frame(writer, frame)
+                else:
+                    bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
+                record = FrameRecord(
+                    index=frame.index,
+                    frame_type="I",
+                    bits=bits,
+                    psnr_y=psnr(frame.y, recon.y),
+                    psnr_cb=psnr(frame.cb, recon.cb),
+                    psnr_cr=psnr(frame.cr, recon.cr),
+                    stats=None,
+                    coefficient_bits=coef_bits,
+                )
+                field = None
+                header_bits = PICTURE_HEADER_BITS
             else:
-                bits, recon, coef_bits = self._encode_intra_frame(writer, frame)
-            record = FrameRecord(
-                index=frame.index,
-                frame_type="I",
-                bits=bits,
-                psnr_y=psnr(frame.y, recon.y),
-                psnr_cb=psnr(frame.cb, recon.cb),
-                psnr_cr=psnr(frame.cr, recon.cr),
-                stats=None,
-                coefficient_bits=coef_bits,
-            )
-            field = None
-        else:
-            if not refs:
-                raise ValueError(f"P-frame at position {position} without a reference")
-            if self.n_ref_frames > 1:
-                bits, recon, skipped, mv_bits, coef_bits, field, stats = (
-                    self._encode_inter_frame_multi(writer, frame, refs, prev_field)
+                if not refs:
+                    raise ValueError(f"P-frame at position {position} without a reference")
+                if self.n_ref_frames > 1:
+                    bits, recon, skipped, mv_bits, coef_bits, field, stats = (
+                        self._encode_inter_frame_multi(writer, frame, refs, prev_field)
+                    )
+                    header_bits = PICTURE_HEADER_BITS + 3
+                else:
+                    prev_recon = refs[0]
+                    # One reference cache per P-frame, shared by the motion
+                    # search and the luma motion compensation below — both
+                    # read the same interpolated half-pel samples.
+                    plane = ReferencePlane.wrap(prev_recon.y)
+                    with trace.span("encode.me"):
+                        field, stats = self.estimator.estimate(
+                            frame.y,
+                            prev_recon.y,
+                            prev_field=prev_field,
+                            qp=self.qp,
+                            ref_plane=plane,
+                        )
+                    bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
+                        writer, frame, prev_recon, field, plane
+                    )
+                    header_bits = PICTURE_HEADER_BITS
+                record = FrameRecord(
+                    index=frame.index,
+                    frame_type="P",
+                    bits=bits,
+                    psnr_y=psnr(frame.y, recon.y),
+                    psnr_cb=psnr(frame.cb, recon.cb),
+                    psnr_cr=psnr(frame.cr, recon.cr),
+                    stats=stats,
+                    skipped_mbs=skipped,
+                    mv_bits=mv_bits,
+                    coefficient_bits=coef_bits,
                 )
-            else:
-                prev_recon = refs[0]
-                # One reference cache per P-frame, shared by the motion
-                # search and the luma motion compensation below — both
-                # read the same interpolated half-pel samples.
-                plane = ReferencePlane.wrap(prev_recon.y)
-                field, stats = self.estimator.estimate(
-                    frame.y, prev_recon.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
-                )
-                bits, recon, skipped, mv_bits, coef_bits = self._encode_inter_frame(
-                    writer, frame, prev_recon, field, plane
-                )
-            record = FrameRecord(
-                index=frame.index,
-                frame_type="P",
-                bits=bits,
-                psnr_y=psnr(frame.y, recon.y),
-                psnr_cb=psnr(frame.cb, recon.cb),
-                psnr_cr=psnr(frame.cr, recon.cr),
-                stats=stats,
-                skipped_mbs=skipped,
-                mv_bits=mv_bits,
-                coefficient_bits=coef_bits,
-            )
-        if framed:
-            # Close the frame: pad to a byte boundary, backpatch the
-            # length field, and charge the framing + padding bits to
-            # the frame so v2 rate numbers reflect emitted bytes.
-            writer.align()
-            writer.patch_u32(length_pos, writer.byte_length - payload_start)
-            record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
+            if framed:
+                # Close the frame: pad to a byte boundary, backpatch the
+                # length field, and charge the framing + padding bits to
+                # the frame so v2 rate numbers reflect emitted bytes.
+                writer.align()
+                writer.patch_u32(length_pos, writer.byte_length - payload_start)
+                record = dataclass_replace(record, bits=writer.bit_count - frame_start_bits)
+            frame_span.set(frame=frame.index, type=record.frame_type, bits=record.bits)
+        # Registry counts.  ``record.bits`` is what the frame emitted
+        # (v2 includes framing + padding); the start code, length field
+        # and alignment bits are charged to the headers bucket so
+        # headers + mode + MV + coefficients == encode.bits exactly.
+        _MET_FRAMES_OUT.inc()
+        _MET_BITS_OUT.inc(record.bits)
+        _MET_BITS_PER_FRAME.observe(record.bits)
+        _MET_BITS_HEADER.inc(header_bits + (record.bits - bits))
+        _MET_BITS_MV.inc(record.mv_bits)
+        _MET_BITS_COEF.inc(record.coefficient_bits)
+        _MET_BITS_MODE.inc(bits - header_bits - record.mv_bits - record.coefficient_bits)
+        if record.stats is not None:
+            _MET_SAD_EVALS.inc(record.stats.positions)
         return record, recon, field
 
     @staticmethod
@@ -440,6 +477,7 @@ class Encoder:
         recon_cb = np.empty_like(frame.cb)
         recon_cr = np.empty_like(frame.cr)
         coef_bits = 0
+        phase = trace.phases()
         for r in range(geometry.mb_rows):
             for c in range(geometry.mb_cols):
                 luma = frame.luma_block(r, c).astype(np.float64)
@@ -447,16 +485,18 @@ class Encoder:
                 blocks = np.concatenate(
                     [split_luma_blocks(luma), cb[None].astype(np.float64), cr[None].astype(np.float64)]
                 )
-                coefficients = forward_dct(blocks)
-                coded = [code_intra_block(coefficients[k], self.qp) for k in range(6)]
+                with phase("encode.transform_quant"):
+                    coefficients = forward_dct(blocks)
+                    coded = [code_intra_block(coefficients[k], self.qp) for k in range(6)]
                 cbpy = sum((1 << k) for k in range(4) if coded[k][1])
                 mcbpc = (2 if coded[4][1] else 0) | (1 if coded[5][1] else 0)
-                writer.write_code(MCBPC_TABLE.encode(mcbpc))
-                writer.write_code(CBPY_TABLE.encode(cbpy))
-                for dc_level, events, _ in coded:
-                    writer.write_bits(dc_level, 8)
-                    if events:
-                        coef_bits += write_events(writer, events)
+                with phase("encode.entropy"):
+                    writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                    writer.write_code(CBPY_TABLE.encode(cbpy))
+                    for dc_level, events, _ in coded:
+                        writer.write_bits(dc_level, 8)
+                        if events:
+                            coef_bits += write_events(writer, events)
                 recon_blocks = np.clip(
                     np.rint(inverse_dct(np.stack([rc for _, _, rc in coded]))), 0, 255
                 ).astype(np.uint8)
@@ -464,6 +504,7 @@ class Encoder:
                 recon_y[y0 : y0 + 16, x0 : x0 + 16] = join_luma_blocks(recon_blocks[:4])
                 recon_cb[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = recon_blocks[4]
                 recon_cr[8 * r : 8 * r + 8, 8 * c : 8 * c + 8] = recon_blocks[5]
+        phase.emit(frame=frame.index)
         total = writer.bit_count - start_bits
         return total, Frame(recon_y, recon_cb, recon_cr, index=frame.index), coef_bits
 
@@ -489,6 +530,7 @@ class Encoder:
         recon_cb = np.empty_like(frame.cb)
         recon_cr = np.empty_like(frame.cr)
         coef_bits = 0
+        phase = trace.phases()
         for r in range(geometry.mb_rows):
             for c in range(geometry.mb_cols):
                 mode = int(modes[r, c])
@@ -505,15 +547,17 @@ class Encoder:
                         (cur_cr.astype(np.float64) - pred_cr)[None],
                     ]
                 )
-                coefficients = forward_dct(residual)
-                coded = [code_inter_block(coefficients[k], self.qp) for k in range(6)]
+                with phase("encode.transform_quant"):
+                    coefficients = forward_dct(residual)
+                    coded = [code_inter_block(coefficients[k], self.qp) for k in range(6)]
                 cbpy = sum((1 << k) for k in range(4) if coded[k][0])
                 mcbpc = (2 if coded[4][0] else 0) | (1 if coded[5][0] else 0)
-                writer.write_code(MCBPC_TABLE.encode(mcbpc))
-                writer.write_code(CBPY_TABLE.encode(cbpy))
-                for events, _ in coded:
-                    if events:
-                        coef_bits += write_events(writer, events)
+                with phase("encode.entropy"):
+                    writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                    writer.write_code(CBPY_TABLE.encode(cbpy))
+                    for events, _ in coded:
+                        if events:
+                            coef_bits += write_events(writer, events)
                 recon_residual = inverse_dct(np.stack([rc for _, rc in coded]))
                 y0, x0 = 16 * r, 16 * c
                 cy0, cx0 = 8 * r, 8 * c
@@ -523,6 +567,7 @@ class Encoder:
                 recon_y[y0 : y0 + 16, x0 : x0 + 16] = rec_y.astype(np.uint8)
                 recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cb.astype(np.uint8)
                 recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cr.astype(np.uint8)
+        phase.emit(frame=frame.index)
         total = writer.bit_count - start_bits
         return total, Frame(recon_y, recon_cb, recon_cr, index=frame.index), coef_bits
 
@@ -547,12 +592,13 @@ class Encoder:
         planes = [ReferencePlane.wrap(ref.y) for ref in active]
         fields: list[MotionField] = []
         merged_stats = SearchStats()
-        for ref, plane in zip(active, planes):
-            f, stats = self.estimator.estimate(
-                frame.y, ref.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
-            )
-            fields.append(f)
-            merged_stats.merge(stats)
+        with trace.span("encode.me", references=len(active)):
+            for ref, plane in zip(active, planes):
+                f, stats = self.estimator.estimate(
+                    frame.y, ref.y, prev_field=prev_field, qp=self.qp, ref_plane=plane
+                )
+                fields.append(f)
+                merged_stats.merge(stats)
         cur = frame.y.astype(np.int64)
         engine = (
             self.use_engine
@@ -611,6 +657,7 @@ class Encoder:
         skipped = 0
         mv_bits_total = 0
         coef_bits_total = 0
+        phase = trace.phases()
         for r in range(rows):
             for c in range(cols):
                 k = int(choice[r, c])
@@ -640,8 +687,9 @@ class Encoder:
                         (cur_cr.astype(np.float64) - pred_cr)[None],
                     ]
                 )
-                coefficients = forward_dct(residual)
-                coded = [code_inter_block(coefficients[k2], self.qp) for k2 in range(6)]
+                with phase("encode.transform_quant"):
+                    coefficients = forward_dct(residual)
+                    coded = [code_inter_block(coefficients[k2], self.qp) for k2 in range(6)]
                 cbpy = sum((1 << k2) for k2 in range(4) if coded[k2][0])
                 mcbpc = (2 if coded[4][0] else 0) | (1 if coded[5][0] else 0)
                 if mv.is_zero and cbpy == 0 and mcbpc == 0 and k == 0:
@@ -654,16 +702,17 @@ class Encoder:
                     recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cb.astype(np.uint8)
                     recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cr.astype(np.uint8)
                     continue
-                writer.write_bit(0)  # COD: coded
-                writer.write_code(MCBPC_TABLE.encode(mcbpc))
-                writer.write_code(CBPY_TABLE.encode(cbpy))
-                writer.write_ue(k)
-                predictor = predict_mv(coded_field, r, c)
-                mv_bits_total += write_mvd(writer, mv, predictor)
-                coded_field.set(r, c, mv)
-                for events, _ in coded:
-                    if events:
-                        coef_bits_total += write_events(writer, events)
+                with phase("encode.entropy"):
+                    writer.write_bit(0)  # COD: coded
+                    writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                    writer.write_code(CBPY_TABLE.encode(cbpy))
+                    writer.write_ue(k)
+                    predictor = predict_mv(coded_field, r, c)
+                    mv_bits_total += write_mvd(writer, mv, predictor)
+                    coded_field.set(r, c, mv)
+                    for events, _ in coded:
+                        if events:
+                            coef_bits_total += write_events(writer, events)
                 recon_residual = inverse_dct(np.stack([rc for _, rc in coded]))
                 rec_y = np.clip(np.rint(join_luma_blocks(recon_residual[:4]) + pred_y), 0, 255)
                 rec_cb = np.clip(np.rint(recon_residual[4] + pred_cb), 0, 255)
@@ -671,6 +720,7 @@ class Encoder:
                 recon_y[y0 : y0 + 16, x0 : x0 + 16] = rec_y.astype(np.uint8)
                 recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cb.astype(np.uint8)
                 recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cr.astype(np.uint8)
+        phase.emit(frame=frame.index)
         total = writer.bit_count - start_bits
         recon = Frame(recon_y, recon_cb, recon_cr, index=frame.index)
         return total, recon, skipped, mv_bits_total, coef_bits_total, field, merged_stats
@@ -709,6 +759,7 @@ class Encoder:
             field_hx, field_hy = field.to_arrays()
             pred_y_plane = frame_mc_luma(plane, field_hx, field_hy)
             pred_cb_plane, pred_cr_plane = chroma.mc_frame(field_hx, field_hy, self.estimator.p)
+        phase = trace.phases()
         for r in range(geometry.mb_rows):
             for c in range(geometry.mb_cols):
                 mv = field.get(r, c)
@@ -737,8 +788,9 @@ class Encoder:
                         (cur_cr.astype(np.float64) - pred_cr)[None],
                     ]
                 )
-                coefficients = forward_dct(residual)
-                coded = [code_inter_block(coefficients[k], self.qp) for k in range(6)]
+                with phase("encode.transform_quant"):
+                    coefficients = forward_dct(residual)
+                    coded = [code_inter_block(coefficients[k], self.qp) for k in range(6)]
                 cbpy = sum((1 << k) for k in range(4) if coded[k][0])
                 mcbpc = (2 if coded[4][0] else 0) | (1 if coded[5][0] else 0)
                 if mv.is_zero and cbpy == 0 and mcbpc == 0:
@@ -749,15 +801,16 @@ class Encoder:
                     recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cb.astype(np.uint8)
                     recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = pred_cr.astype(np.uint8)
                     continue
-                writer.write_bit(0)  # COD: coded
-                writer.write_code(MCBPC_TABLE.encode(mcbpc))
-                writer.write_code(CBPY_TABLE.encode(cbpy))
-                predictor = predict_mv(coded_field, r, c)
-                mv_bits_total += write_mvd(writer, mv, predictor)
-                coded_field.set(r, c, mv)
-                for events, _ in coded:
-                    if events:
-                        coef_bits_total += write_events(writer, events)
+                with phase("encode.entropy"):
+                    writer.write_bit(0)  # COD: coded
+                    writer.write_code(MCBPC_TABLE.encode(mcbpc))
+                    writer.write_code(CBPY_TABLE.encode(cbpy))
+                    predictor = predict_mv(coded_field, r, c)
+                    mv_bits_total += write_mvd(writer, mv, predictor)
+                    coded_field.set(r, c, mv)
+                    for events, _ in coded:
+                        if events:
+                            coef_bits_total += write_events(writer, events)
                 recon_residual = inverse_dct(np.stack([rc for _, rc in coded]))
                 rec_y = np.clip(np.rint(join_luma_blocks(recon_residual[:4]) + pred_y), 0, 255)
                 rec_cb = np.clip(np.rint(recon_residual[4] + pred_cb), 0, 255)
@@ -765,6 +818,7 @@ class Encoder:
                 recon_y[y0 : y0 + 16, x0 : x0 + 16] = rec_y.astype(np.uint8)
                 recon_cb[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cb.astype(np.uint8)
                 recon_cr[cy0 : cy0 + 8, cx0 : cx0 + 8] = rec_cr.astype(np.uint8)
+        phase.emit(frame=frame.index)
         total = writer.bit_count - start_bits
         recon = Frame(recon_y, recon_cb, recon_cr, index=frame.index)
         return total, recon, skipped, mv_bits_total, coef_bits_total

@@ -28,12 +28,21 @@ from __future__ import annotations
 import heapq
 from typing import Generic, Hashable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics
+
 Symbol = TypeVar("Symbol", bound=Hashable)
 
 #: First-level LUT width in bits: every code no longer than this
 #: decodes with a single table hit; longer codes indirect through one
 #: nested sub-table keyed by their remaining bits.
 LUT_FIRST_BITS = 9
+
+#: LUT compilations (once per :class:`VLCTable` construction) versus
+#: re-uses of an already-compiled table through the :attr:`VLCTable.lut`
+#: property — the caching the hot parse loops rely on.  Deliberately
+#: *not* per decoded symbol: the property is read once per loop setup.
+_MET_LUT_BUILDS = metrics.counter("vlc.lut_builds")
+_MET_LUT_HITS = metrics.counter("vlc.lut_hits")
 
 
 def huffman_code_lengths(
@@ -148,6 +157,7 @@ class VLCTable(Generic[Symbol]):
         """
         codes = [(sym, value, length) for sym, (value, length) in self._codes.items()]
         first_bits = min(self.max_length, LUT_FIRST_BITS)
+        _MET_LUT_BUILDS.inc()
         return first_bits, _compile_lut_level(codes, 0, first_bits)
 
     @property
@@ -156,6 +166,7 @@ class VLCTable(Generic[Symbol]):
         hot parse loops can call ``reader.read_vlc(table.lut,
         table.lut_first_bits)`` directly, skipping the dispatch in
         :meth:`decode`."""
+        _MET_LUT_HITS.inc()
         return self._lut
 
     @property

@@ -1,0 +1,237 @@
+"""Observability-overhead benchmark: what does the instrumentation cost?
+
+The tracing/metrics layer (:mod:`repro.obs`) promises **near-zero
+disabled cost**: every instrumented seam calls a module-level helper
+that checks one attribute (``TRACER.enabled``) and returns a shared
+no-op, and the always-on metric counters are single integer adds.  This
+bench measures that promise on the real workload — an encode→decode
+round trip over a synthetic clip — in three modes:
+
+* **bypassed** — the module-level trace helpers and the metric
+  instrument methods monkeypatched to bare no-ops for the duration: the
+  closest runnable stand-in for "instrumentation compiled out" (what
+  remains is one module-attribute load per seam).
+* **disabled** — the shipped default: tracer off, counters counting.
+* **enabled** — full tracing, every span and phase recorded.
+
+The gated claim is ``obs_disabled_speedup = bypassed / disabled``:
+disabled-mode throughput must stay within 2% of the bypassed floor
+(asserted here at the :data:`OVERHEAD_FLOOR`; the committed baseline in
+``benchmarks/baselines/BENCH_obs.json`` is a conservative trend floor
+below it).  Zero-interference is verified before anything is timed:
+all three modes must emit byte-identical bitstreams.
+
+``benchmarks/test_bench_obs.py`` records ``BENCH_obs.json`` for CI's
+regression gate; the ``obs_`` prefix is deliberately absent from
+``check_regression.py``'s multi-core-only list, so the overhead ratio
+gates on single-core runners too (no parallel hardware is involved).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.codec.decoder import decode_bitstream
+from repro.codec.encoder import encode_sequence
+from repro.obs import metrics, trace
+from repro.video.synthesis.sequences import make_sequence
+
+# Re-exported for the bench suite (same merge convention).
+from repro.experiments.decode_bench import write_records  # noqa: F401
+
+#: Disabled-mode throughput must be at least this fraction of the
+#: bypassed floor (the ISSUE's "within 2%" acceptance bound).
+OVERHEAD_FLOOR = 0.98
+
+
+@contextmanager
+def instrumentation_bypassed():
+    """Monkeypatch every obs entry point the seams use to a bare no-op.
+
+    This is the measurement baseline, not a production switch: the
+    instrumented modules call ``trace.span(...)`` through the module
+    attribute and hold direct references to their metric instruments,
+    so replacing the module functions and the instrument *methods*
+    removes all instrumentation work except one attribute load per
+    seam.  Always restores, even when the workload raises.
+    """
+    saved_trace = (trace.span, trace.phases, trace.instant, trace.begin, trace.end)
+    saved_metrics = (
+        metrics.Counter.inc,
+        metrics.Counter.advance_to,
+        metrics.Gauge.set,
+        metrics.Gauge.add,
+        metrics.Histogram.observe,
+    )
+    noop_span, noop_phases = trace._NOOP_SPAN, trace._NOOP_PHASES
+    trace.span = lambda name, **attrs: noop_span
+    trace.phases = lambda: noop_phases
+    trace.instant = lambda name, **attrs: None
+    trace.begin = lambda name, **attrs: None
+    trace.end = lambda token: None
+    metrics.Counter.inc = lambda self, amount=1: None
+    metrics.Counter.advance_to = lambda self, value: None
+    metrics.Gauge.set = lambda self, value: None
+    metrics.Gauge.add = lambda self, delta: None
+    metrics.Histogram.observe = lambda self, value: None
+    try:
+        yield
+    finally:
+        trace.span, trace.phases, trace.instant, trace.begin, trace.end = saved_trace
+        (
+            metrics.Counter.inc,
+            metrics.Counter.advance_to,
+            metrics.Gauge.set,
+            metrics.Gauge.add,
+            metrics.Histogram.observe,
+        ) = saved_metrics
+
+
+@dataclass(frozen=True)
+class ObsBenchResult:
+    """One observability-overhead measurement."""
+
+    sequence: str
+    frames: int
+    qp: int
+    estimator: str
+    bitstream_bytes: int
+    bypassed_ms: float
+    disabled_ms: float
+    enabled_ms: float
+    #: Events one fully traced round trip records.
+    trace_events: int
+    #: Bitstreams byte-identical across all three modes.
+    identical: bool
+    machine_cpu_count: int
+
+    @property
+    def disabled_speedup(self) -> float:
+        """Disabled-mode throughput as a fraction of the bypassed floor
+        (1.0 = free; the gated number)."""
+        return self.bypassed_ms / self.disabled_ms
+
+    @property
+    def enabled_ratio(self) -> float:
+        """Fully traced throughput vs the bypassed floor (informational
+        — tracing is allowed to cost; it must not cost when off)."""
+        return self.bypassed_ms / self.enabled_ms
+
+    @property
+    def within_overhead(self) -> bool:
+        return self.disabled_speedup >= OVERHEAD_FLOOR
+
+    def records(self) -> dict[str, float]:
+        """Payload for ``BENCH_obs.json``.  ``obs_disabled_speedup``
+        gates (higher is better, all machines); the ``_ms`` rows and the
+        enabled ratio are trend info."""
+        return {
+            "obs_bypassed_ms": self.bypassed_ms,
+            "obs_disabled_ms": self.disabled_ms,
+            "obs_enabled_ms": self.enabled_ms,
+            "obs_disabled_speedup": self.disabled_speedup,
+            "obs_enabled_ratio": self.enabled_ratio,
+            "obs_trace_events": float(self.trace_events),
+            "machine_cpu_count": float(self.machine_cpu_count),
+        }
+
+    def as_text(self) -> str:
+        return (
+            f"obs bench: {self.sequence}, {self.frames} frames, qp={self.qp}, "
+            f"{self.estimator}, {self.bitstream_bytes} bytes\n"
+            f"  byte-identical (bypassed == disabled == traced): {self.identical}\n"
+            f"  bypassed {self.bypassed_ms:.1f} ms, disabled {self.disabled_ms:.1f} ms "
+            f"-> {self.disabled_speedup:.3f}x of floor "
+            f"(gate >= {OVERHEAD_FLOOR:.2f}: {self.within_overhead})\n"
+            f"  traced {self.enabled_ms:.1f} ms -> {self.enabled_ratio:.3f}x of floor, "
+            f"{self.trace_events} events ({self.machine_cpu_count} cpu)"
+        )
+
+
+def _round_trip(clip, qp: int, estimator: str) -> bytes:
+    """The timed workload: encode the clip and decode the bytes back —
+    every instrumented codec seam (ME, transform/quant, entropy, parse,
+    reconstruct) runs."""
+    encode = encode_sequence(clip, qp=qp, estimator=estimator, keep_reconstruction=False)
+    decode_bitstream(encode.bitstream)
+    return encode.bitstream
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_obs_bench(
+    sequence: str = "foreman",
+    frames: int = 8,
+    qp: int = 16,
+    estimator: str = "tss",
+    seed: int = 0,
+    rounds: int = 5,
+    clip=None,
+) -> ObsBenchResult:
+    """Measure the three instrumentation modes over one workload,
+    best-of ``rounds`` each, verifying byte-identity first.
+
+    The tracer is drained between traced rounds so the event buffer
+    does not grow across repetitions; the caller's tracer state (off,
+    empty) is restored on return.
+    """
+    if clip is None:
+        clip = make_sequence(sequence, frames=frames, seed=seed)
+
+    # -- zero-interference: identical bytes in every mode --------------
+    with instrumentation_bypassed():
+        bitstream_bypassed = _round_trip(clip, qp, estimator)
+    bitstream_disabled = _round_trip(clip, qp, estimator)
+    trace.TRACER.enable()
+    try:
+        bitstream_traced = _round_trip(clip, qp, estimator)
+        trace_events = len(trace.TRACER.drain())
+    finally:
+        trace.TRACER.disable()
+        trace.TRACER.drain()
+    identical = bitstream_bypassed == bitstream_disabled == bitstream_traced
+
+    # -- timings --------------------------------------------------------
+    # The three modes interleave within each round (bypassed, disabled,
+    # traced, repeat) so slow drift on a shared machine — the dominant
+    # error at a 2% bound — hits all modes alike instead of biasing
+    # whichever block ran when the machine was busiest.
+    def traced_round() -> None:
+        trace.TRACER.enable()
+        try:
+            _round_trip(clip, qp, estimator)
+        finally:
+            trace.TRACER.disable()
+            trace.TRACER.drain()
+
+    bypassed_s = disabled_s = enabled_s = float("inf")
+    for _ in range(max(1, rounds)):
+        with instrumentation_bypassed():
+            bypassed_s = min(
+                bypassed_s, _time_once(lambda: _round_trip(clip, qp, estimator))
+            )
+        disabled_s = min(
+            disabled_s, _time_once(lambda: _round_trip(clip, qp, estimator))
+        )
+        enabled_s = min(enabled_s, _time_once(traced_round))
+
+    return ObsBenchResult(
+        sequence=sequence,
+        frames=len(clip),
+        qp=qp,
+        estimator=estimator,
+        bitstream_bytes=len(bitstream_disabled),
+        bypassed_ms=bypassed_s * 1000.0,
+        disabled_ms=disabled_s * 1000.0,
+        enabled_ms=enabled_s * 1000.0,
+        trace_events=trace_events,
+        identical=identical,
+        machine_cpu_count=os.cpu_count() or 1,
+    )

@@ -68,7 +68,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis.reporting import format_histogram
@@ -82,6 +81,10 @@ from repro.experiments.fig4_characterization import run_fig4
 from repro.experiments.rd_curves import run_rd_sweep
 from repro.experiments.stream_bench import run_stream_bench
 from repro.experiments.table1_complexity import run_table1
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.export import load_trace, write_metrics, write_trace
+from repro.obs.report import render_report
 
 
 def parse_geometry(value: str):
@@ -554,13 +557,20 @@ def cmd_all(args: argparse.Namespace) -> None:
     Progress lines flush through the pool's progress callback
     (``--verbose``); the timing summary goes to stderr so stdout stays
     byte-identical to running the subcommands individually.
+
+    The summary is read straight off trace spans: each stage runs under
+    an ``all.stage`` span on a private always-on tracer (so the summary
+    prints with or without ``--trace``), and when the global tracer is
+    recording the stage spans are spliced into its timeline too.
     """
-    timings: list[tuple[str, float]] = []
+    stage_tracer = trace.Tracer()
+    stage_tracer.enable()
+    timings: list[tuple[str, trace.Span]] = []
 
     def timed(label: str, fn) -> object:
-        started = time.perf_counter()
-        value = fn()
-        timings.append((label, time.perf_counter() - started))
+        with stage_tracer.span("all.stage", stage=label) as stage_span:
+            value = fn()
+        timings.append((label, stage_span))
         return value
 
     timed("fig4", lambda: cmd_fig4(args))
@@ -609,12 +619,25 @@ def cmd_all(args: argparse.Namespace) -> None:
             raise SystemExit("streaming stage failed: identity or memory bound broken")
 
     timed("streaming", streaming_report)
-    total = sum(duration for _, duration in timings)
+    total = sum(stage_span.duration_s for _, stage_span in timings)
     width = max(len(label) for label, _ in timings)
     print("\n== wall-clock summary ==", file=sys.stderr)
-    for label, duration in timings:
-        print(f"  {label:<{width}}  {duration:8.2f}s", file=sys.stderr)
+    for label, stage_span in timings:
+        print(f"  {label:<{width}}  {stage_span.duration_s:8.2f}s", file=sys.stderr)
     print(f"  {'total':<{width}}  {total:8.2f}s  (--jobs {args.jobs})", file=sys.stderr, flush=True)
+    if trace.TRACER.enabled:
+        trace.TRACER.adopt(stage_tracer.drain())
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Per-frame breakdown tables from a recorded ``--trace`` file."""
+    try:
+        data = load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(data["traceEvents"]))
+    return 0
 
 
 def _add_backend_option(target: argparse.ArgumentParser) -> None:
@@ -623,6 +646,20 @@ def _add_backend_option(target: argparse.ArgumentParser) -> None:
         help="kernel backend for every hot loop (overrides the "
         "REPRO_BACKEND environment variable; 'numba' errors when numba "
         "is not installed, 'auto' falls back to numpy silently)",
+    )
+
+
+def _add_obs_options(target: argparse.ArgumentParser) -> None:
+    target.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a Chrome trace-event JSON timeline of the run to FILE "
+        "(open in chrome://tracing or Perfetto; worker processes merge in "
+        "as their own lanes; inspect with the 'report' subcommand)",
+    )
+    target.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="dump the metrics registry (frames, bits by syntax element, "
+        "SAD evaluations, cache hits, queue depths, ...) as JSON to FILE",
     )
 
 
@@ -659,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workers spawn).  Output is byte-identical in every mode",
     )
     _add_backend_option(common)
+    _add_obs_options(common)
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the tables/figures of Lopez et al., DATE 2005.",
@@ -736,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reference frames each P-frame may select from (default 1)",
     )
     _add_backend_option(stream_encode)
+    _add_obs_options(stream_encode)
     stream_decode = sub.add_parser(
         "stream-decode",
         help="push-decode a v2 bitstream in fixed-size chunks (bounded memory)",
@@ -766,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
         "spawned process (default off; output is bit-identical either way)",
     )
     _add_backend_option(stream_decode)
+    _add_obs_options(stream_decode)
     stream_bench = sub.add_parser(
         "stream-bench", parents=[common],
         help="push decode vs whole-buffer decode timing + peak-memory bound",
@@ -843,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
         "is bit-identical (the CI smoke)",
     )
     _add_backend_option(seek)
+    _add_obs_options(seek)
     gop_bench = sub.add_parser(
         "gop-bench", parents=[common],
         help="per-GOP parallel encode speedup + keyframe-seek identity",
@@ -867,19 +908,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="merge the measurements into this JSON file (e.g. BENCH_gop.json)",
     )
+    report = sub.add_parser(
+        "report",
+        help="per-frame timing/bits breakdown table from a --trace file",
+    )
+    report.add_argument("trace_file", help="trace JSON recorded with --trace")
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if getattr(args, "backend", None) is not None:
-        from repro.kernels import set_backend
-
-        try:
-            set_backend(args.backend)
-        except RuntimeError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "fig4":
         cmd_fig4(args)
     elif args.command == "fig5":
@@ -906,7 +943,37 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_seek_decode(args)
     elif args.command == "gop-bench":
         return cmd_gop_bench(args)
+    elif args.command == "report":
+        return cmd_report(args)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        from repro.kernels import set_backend
+
+        try:
+            set_backend(args.backend)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path:
+        trace.TRACER.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        # Both files write even when the command fails partway — a
+        # partial trace of a failed run is exactly the artifact to have.
+        if trace_path:
+            trace.TRACER.disable()
+            write_trace(trace_path, trace.TRACER.drain())
+            print(f"trace -> {trace_path}", file=sys.stderr)
+        if metrics_path:
+            write_metrics(metrics_path, obs_metrics.REGISTRY)
+            print(f"metrics -> {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

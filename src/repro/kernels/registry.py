@@ -24,11 +24,23 @@ from __future__ import annotations
 import os
 
 from repro.kernels.api import KernelBackend
+from repro.obs import metrics, trace
 
 #: Environment variable naming the requested backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
+_MET_SELECTIONS = metrics.counter("backend.selections")
+
 _active: KernelBackend | None = None
+
+
+def _note_selection(backend: KernelBackend, how: str) -> None:
+    """Record a backend becoming active: a counter always, plus an
+    instant event on the trace timeline when tracing is on — so a trace
+    of a mixed run shows exactly when (and in which process) the
+    compiled backend kicked in."""
+    _MET_SELECTIONS.inc()
+    trace.instant("backend.select", backend=backend.name, how=how)
 
 
 def numba_available() -> bool:
@@ -80,6 +92,7 @@ def get_backend() -> KernelBackend:
     global _active
     if _active is None:
         _active = _resolve(os.environ.get(BACKEND_ENV_VAR))
+        _note_selection(_active, how="env")
     return _active
 
 
@@ -93,8 +106,10 @@ def set_backend(backend: str | KernelBackend | None) -> KernelBackend | None:
         _active = None
     elif isinstance(backend, KernelBackend):
         _active = backend
+        _note_selection(_active, how="instance")
     else:
         _active = _resolve(backend)
+        _note_selection(_active, how="pin")
     return _active
 
 

@@ -21,6 +21,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics
+
+#: ``wrap`` outcomes: a hit re-uses an existing plane (and whatever
+#: half-pel work it already did); a miss constructs a fresh one.
+#: ``half_builds`` counts actual whole-plane interpolations — the
+#: expensive event the cache exists to amortize.  All are per-frame
+#: frequency, never per-candidate.
+_MET_WRAP_HITS = metrics.counter("refplane.hits")
+_MET_WRAP_MISSES = metrics.counter("refplane.misses")
+_MET_HALF_BUILDS = metrics.counter("refplane.half_builds")
+
 
 class ReferencePlane:
     """The reference luma plane plus its lazily built half-pel upsampling.
@@ -58,10 +69,12 @@ class ReferencePlane:
         (wrong dtype/shape), in which case callers fall back to the
         per-candidate interpolation paths."""
         if isinstance(reference, ReferencePlane):
+            _MET_WRAP_HITS.inc()
             return reference
         arr = np.asarray(reference)
         if arr.ndim != 2 or arr.dtype != np.uint8 or arr.shape[0] < 2 or arr.shape[1] < 2:
             return None
+        _MET_WRAP_MISSES.inc()
         return ReferencePlane(arr)
 
     # -- planes ---------------------------------------------------------
@@ -76,6 +89,7 @@ class ReferencePlane:
         the H.263 bilinear sample at half-pel coordinate ``(hy, hx)``.
         Even coordinates are the integer samples themselves."""
         if self._half is None:
+            _MET_HALF_BUILDS.inc()
             r = self.luma.astype(np.int32)
             h, w = self.luma.shape
             half = np.empty((2 * h - 1, 2 * w - 1), dtype=np.uint8)

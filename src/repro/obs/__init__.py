@@ -1,0 +1,38 @@
+"""Whole-stack observability: tracing, metrics, exporters, reports.
+
+* :mod:`repro.obs.trace` — spans / phase accumulators recording Chrome
+  trace events; module-level no-ops while disabled.
+* :mod:`repro.obs.metrics` — named counters, gauges, histograms.
+* :mod:`repro.obs.export` — ``--trace`` / ``--metrics`` file writers
+  plus the trace validator CI smokes against.
+* :mod:`repro.obs.report` — the ``runner report`` per-frame table.
+"""
+
+from repro.obs import export, metrics, report, trace
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    validate_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "Tracer",
+    "chrome_trace",
+    "export",
+    "load_trace",
+    "metrics",
+    "render_report",
+    "report",
+    "trace",
+    "validate_trace",
+    "write_metrics",
+    "write_trace",
+]

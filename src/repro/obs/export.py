@@ -1,0 +1,110 @@
+"""Exporters: Chrome trace-event JSON and metrics JSON dumps.
+
+``chrome://tracing`` / Perfetto load the trace file directly (``Open
+trace file`` → pick the ``--trace`` output); each process the run
+touched renders as its own lane group, workers included, with spans
+nested by containment.  The metrics dump is the registry's
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` — a flat
+``{name: value}`` JSON object.
+
+:func:`validate_trace` is the well-formedness check CI's smoke runs on
+a fresh ``--trace`` file: top-level object with a ``traceEvents`` list
+whose entries carry the minimum trace-event fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "chrome_trace",
+    "load_trace",
+    "validate_trace",
+    "write_metrics",
+    "write_trace",
+]
+
+#: Fields every duration/instant event must carry to load cleanly.
+_REQUIRED_EVENT_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+
+def chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Wrap raw events as a Chrome trace-event JSON object.
+
+    Adds one ``process_name`` metadata event per distinct pid so the
+    viewer labels the exporting process ``repro`` and every other pid
+    (the spawned workers) ``repro worker`` — the lane names the
+    cross-process tests key on are the pids themselves, which the
+    events carry untouched.
+    """
+    event_list = list(events)
+    main_pid = os.getpid()
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro" if pid == main_pid else f"repro worker {pid}"},
+        }
+        for pid in sorted({e["pid"] for e in event_list if "pid" in e})
+    ]
+    return {"traceEvents": metadata + event_list, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: str | Path, events: Iterable[dict[str, Any]]) -> Path:
+    """Serialize ``events`` as a Chrome-trace JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events), indent=1) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    """Read a trace file back, validating it on the way in."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    validate_trace(data)
+    return data
+
+
+def validate_trace(data: Any) -> None:
+    """Raise :class:`ValueError` unless ``data`` is a well-formed
+    trace-event JSON object (the CI smoke's gate)."""
+    if not isinstance(data, dict):
+        raise ValueError("trace must be a JSON object with a traceEvents list")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace is missing the traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"traceEvents[{i}] has no phase ('ph') field")
+        if ph == "M":  # metadata events carry no timestamp
+            continue
+        missing = [f for f in _REQUIRED_EVENT_FIELDS if f not in event]
+        if missing:
+            raise ValueError(
+                f"traceEvents[{i}] ({event.get('name', '?')!r}) is missing "
+                f"required fields: {', '.join(missing)}"
+            )
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            raise ValueError(
+                f"traceEvents[{i}] ({event.get('name', '?')!r}) is a complete "
+                "event without a numeric 'dur'"
+            )
+
+
+def write_metrics(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Dump a registry snapshot as JSON."""
+    path = Path(path)
+    path.write_text(registry.to_json() + "\n")
+    return path

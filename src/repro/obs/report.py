@@ -1,0 +1,101 @@
+"""Per-frame breakdown reports built from trace events.
+
+``runner report TRACE.json`` renders the table: one row per
+``encode.frame`` / ``decode.frame`` span with its sub-phases (motion
+estimation, transform+quant, entropy; parse, reconstruct) resolved by
+pid/tid + timestamp containment — the same nesting a trace viewer
+shows, flattened to text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["frame_rows", "render_report"]
+
+#: Parent span name → (column label, child span names in column order).
+_FRAME_KINDS = {
+    "encode.frame": ("encode", ("encode.me", "encode.transform_quant", "encode.entropy")),
+    "decode.frame": ("decode", ("decode.parse", "decode.reconstruct")),
+}
+
+
+def _contains(parent: dict[str, Any], child: dict[str, Any]) -> bool:
+    if parent["pid"] != child["pid"] or parent["tid"] != child["tid"]:
+        return False
+    p_start, c_start = parent["ts"], child["ts"]
+    return p_start <= c_start and c_start + child.get("dur", 0.0) <= p_start + parent.get(
+        "dur", 0.0
+    ) + 1e-6
+
+
+def frame_rows(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Resolve per-frame rows from a flat event list.
+
+    Each row: ``kind`` ("encode"/"decode"), ``pid``, ``frame`` (the
+    span's frame attr, if set), ``total_ms``, ``bits`` (if recorded)
+    and one ``<child>_ms`` column per known sub-phase nested inside the
+    frame span.  Rows sort by start time so the table reads as a
+    timeline.
+    """
+    events = [e for e in events if e.get("ph") == "X"]
+    frames = [e for e in events if e["name"] in _FRAME_KINDS]
+    rows = []
+    for frame in sorted(frames, key=lambda e: e["ts"]):
+        kind, child_names = _FRAME_KINDS[frame["name"]]
+        args = frame.get("args", {})
+        row: dict[str, Any] = {
+            "kind": kind,
+            "pid": frame["pid"],
+            "frame": args.get("frame"),
+            "type": args.get("type"),
+            "bits": args.get("bits"),
+            "total_ms": frame.get("dur", 0.0) / 1000.0,
+        }
+        for name in child_names:
+            total = sum(
+                e.get("dur", 0.0)
+                for e in events
+                if e["name"] == name and _contains(frame, e)
+            )
+            row[name.split(".", 1)[1] + "_ms"] = total / 1000.0
+        rows.append(row)
+    return rows
+
+
+def _fmt(value: Any, width: int) -> str:
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        text = f"{value:.2f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def render_report(events: Iterable[dict[str, Any]]) -> str:
+    """Render the per-frame breakdown as an aligned text table."""
+    rows = frame_rows(events)
+    if not rows:
+        return "no frame spans in trace (run with --trace on an encode/decode command)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        key: max(len(key), max(len(_fmt(row.get(key), 0).strip()) for row in rows))
+        for key in columns
+    }
+    header = "  ".join(key.rjust(widths[key]) for key in columns)
+    lines = [header, "  ".join("-" * widths[key] for key in columns)]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(key), widths[key]) for key in columns))
+    totals: dict[str, float] = {}
+    for row in rows:
+        for key, value in row.items():
+            if key.endswith("_ms") and isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0.0) + value
+    summary = ", ".join(f"{key[:-3]} {value:.2f}ms" for key, value in totals.items())
+    lines.append(f"{len(rows)} frame spans · totals: {summary}")
+    return "\n".join(lines)

@@ -32,7 +32,7 @@ from repro.parallel.jobs import (
     clear_render_cache,
     rendered_source,
 )
-from repro.parallel.pool import derive_job_seeds, execute_job, run_jobs
+from repro.parallel.pool import WorkerTraceFailure, derive_job_seeds, execute_job, run_jobs
 
 __all__ = [
     "DecodeJob",
@@ -42,6 +42,7 @@ __all__ = [
     "JobSpec",
     "ParseFrameJob",
     "SweepJob",
+    "WorkerTraceFailure",
     "borrowed_renders",
     "clear_render_cache",
     "derive_job_seeds",

@@ -70,6 +70,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel.jobs import JobSpec
 
@@ -117,7 +119,34 @@ def _chunks(items: Sequence, size: int) -> Iterable[tuple[int, list]]:
         yield start, list(items[start : start + size])
 
 
-def _run_chunk(payload: list, use_shm: bool = False, backend: str | None = None) -> list:
+class WorkerTraceFailure(RuntimeError):
+    """A traced worker's job failure, carrying the worker's partial
+    trace events across the pickle boundary.
+
+    Raised by :func:`_run_chunk` in place of the job's own exception
+    when the parent asked for trace collection: ``str()`` is the
+    original exception's message (so the parent's ``parallel job
+    failed`` report reads identically to the untraced path), and
+    :attr:`events` holds everything the worker recorded up to the
+    failure — the parent adopts them, which is what makes a failed
+    ``--jobs N --trace`` run still produce a partial timeline.
+    """
+
+    def __init__(self, message: str, events: list | None = None, cause_type: str = "") -> None:
+        super().__init__(message)
+        self.events = events or []
+        self.cause_type = cause_type
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.events, self.cause_type))
+
+
+def _run_chunk(
+    payload: list,
+    use_shm: bool = False,
+    backend: str | None = None,
+    collect_trace: bool = False,
+) -> list:
     """Worker-side chunk executor: ``payload`` is a list of
     ``(job, seed_sequence)`` pairs, results returned in chunk order.
 
@@ -125,6 +154,13 @@ def _run_chunk(payload: list, use_shm: bool = False, backend: str | None = None)
     any job runs — how the parent's backend choice survives the spawn
     boundary (a spawned child would otherwise re-resolve from its own
     environment).
+
+    ``collect_trace`` enables this worker's own tracer (spawned
+    children start with it off) and changes the return shape to
+    ``(results, events)``: each job runs under a ``"job"`` span, and the
+    drained events — stamped with the *worker's* pid — ship back with
+    the results for the parent to adopt.  A failing job raises
+    :class:`WorkerTraceFailure` so the partial events still cross.
 
     Under ``use_shm`` each result's arrays are exported to a one-shot
     shared segment before the return value crosses the pickle boundary
@@ -135,12 +171,30 @@ def _run_chunk(payload: list, use_shm: bool = False, backend: str | None = None)
         from repro.kernels import set_backend
 
         set_backend(backend)
-    results = [execute_job(job, seed_seq) for job, seed_seq in payload]
+    if not collect_trace:
+        results = [execute_job(job, seed_seq) for job, seed_seq in payload]
+        if use_shm:
+            from repro.transport import export
+
+            results = [export(result, name_prefix="repro-result") for result in results]
+        return results
+    tracer = trace.TRACER
+    tracer.enable()
+    try:
+        results = []
+        for job, seed_seq in payload:
+            with trace.span("job", job=job.describe()):
+                results.append(execute_job(job, seed_seq))
+    except Exception as exc:
+        tracer.disable()
+        raise WorkerTraceFailure(str(exc), tracer.drain(), type(exc).__name__) from exc
+    tracer.disable()
+    events = tracer.drain()
     if use_shm:
         from repro.transport import export
 
         results = [export(result, name_prefix="repro-result") for result in results]
-    return results
+    return results, events
 
 
 @contextmanager
@@ -240,50 +294,56 @@ def run_jobs(
     seeds = derive_job_seeds(base_seed, len(job_list))
     workers = max(1, int(workers))
     use_shm = _resolve_use_shm(use_shm, job_list, workers)
-    if workers == 1 or len(job_list) == 1:
-        # Per-job reseeding must happen here too (or jobs consuming the
-        # global RNG would differ between worker counts), but the
-        # caller's global RNG stream is not ours to consume — save and
-        # restore it so ``run_jobs`` is side-effect-free in-process,
-        # exactly like the parallel path (which reseeds only workers,
-        # and likewise pins the backend only in workers).
-        from repro.kernels import get_backend, set_backend
+    with trace.span("run_jobs", jobs=len(job_list), workers=workers, use_shm=use_shm):
+        if workers == 1 or len(job_list) == 1:
+            # Per-job reseeding must happen here too (or jobs consuming the
+            # global RNG would differ between worker counts), but the
+            # caller's global RNG stream is not ours to consume — save and
+            # restore it so ``run_jobs`` is side-effect-free in-process,
+            # exactly like the parallel path (which reseeds only workers,
+            # and likewise pins the backend only in workers).
+            from repro.kernels import get_backend, set_backend
 
-        rng_state = np.random.get_state()
-        previous_backend = get_backend() if backend is not None else None
-        if backend is not None:
-            set_backend(backend)
-        try:
-            results = []
-            for job, seed_seq in zip(job_list, seeds):
-                if progress is not None:
-                    progress(job.describe())
-                results.append(execute_job(job, seed_seq))
-            return results
-        finally:
-            np.random.set_state(rng_state)
-            if previous_backend is not None:
-                set_backend(previous_backend)
-    spawn_backend = _spawn_backend_name(backend)
-    if not use_shm:
-        return _run_parallel(
-            job_list, seeds, workers, progress, chunk_size, use_shm=False,
-            backend=spawn_backend,
-        )
-    from repro.transport import FrameArena, FrameStore
+            rng_state = np.random.get_state()
+            previous_backend = get_backend() if backend is not None else None
+            if backend is not None:
+                set_backend(backend)
+            try:
+                results = []
+                for job, seed_seq in zip(job_list, seeds):
+                    if progress is not None:
+                        progress(job.describe())
+                    with trace.span("job", job=job.describe()):
+                        results.append(execute_job(job, seed_seq))
+                return results
+            finally:
+                np.random.set_state(rng_state)
+                if previous_backend is not None:
+                    set_backend(previous_backend)
+        spawn_backend = _spawn_backend_name(backend)
+        # Workers are fresh spawned processes whose tracer starts
+        # disabled; ship the parent's tracing state so their spans come
+        # back with the results (see _run_chunk).
+        collect_trace = trace.TRACER.enabled
+        if not use_shm:
+            return _run_parallel(
+                job_list, seeds, workers, progress, chunk_size, use_shm=False,
+                backend=spawn_backend, collect_trace=collect_trace,
+            )
+        from repro.transport import FrameArena, FrameStore
 
-    # The arena must outlive every worker read of a packed spec, i.e.
-    # the whole parallel run; its exit unlinks all input segments
-    # (including every source the store rendered).  Result segments are
-    # one-shot exports the parent materializes (and unlinks) as each
-    # chunk completes — see _run_chunk.
-    with FrameArena(name_prefix="repro-jobs") as arena:
-        store = FrameStore(arena)
-        packed = [job.pack_shm(store) for job in job_list]
-        return _run_parallel(
-            packed, seeds, workers, progress, chunk_size, use_shm=True,
-            backend=spawn_backend,
-        )
+        # The arena must outlive every worker read of a packed spec, i.e.
+        # the whole parallel run; its exit unlinks all input segments
+        # (including every source the store rendered).  Result segments are
+        # one-shot exports the parent materializes (and unlinks) as each
+        # chunk completes — see _run_chunk.
+        with FrameArena(name_prefix="repro-jobs") as arena:
+            store = FrameStore(arena)
+            packed = [job.pack_shm(store) for job in job_list]
+            return _run_parallel(
+                packed, seeds, workers, progress, chunk_size, use_shm=True,
+                backend=spawn_backend, collect_trace=collect_trace,
+            )
 
 
 def _resolve_use_shm(use_shm: bool | str, job_list: list, workers: int) -> bool:
@@ -315,6 +375,7 @@ def _run_parallel(
     chunk_size: int,
     use_shm: bool,
     backend: str | None = None,
+    collect_trace: bool = False,
 ) -> list:
     if progress is not None:
         chunk_size = 1  # per-job completion reporting (see ProgressFn)
@@ -326,7 +387,9 @@ def _run_parallel(
         ) as executor:
             futures = {}
             for start, chunk in _chunks(list(zip(job_list, seeds)), chunk_size):
-                futures[executor.submit(_run_chunk, chunk, use_shm, backend)] = (
+                futures[
+                    executor.submit(_run_chunk, chunk, use_shm, backend, collect_trace)
+                ] = (
                     start,
                     len(chunk),
                 )
@@ -342,6 +405,9 @@ def _run_parallel(
                     executor.shutdown(wait=False, cancel_futures=True)
                     failure = (exc, start, length)
                     break
+                if collect_trace:
+                    chunk_results, worker_events = chunk_results
+                    trace.TRACER.adopt(worker_events)
                 if use_shm:
                     from repro.transport import materialize
 
@@ -352,8 +418,12 @@ def _run_parallel(
                         progress(job.describe())
         if failure is not None:
             exc, start, length = failure
+            if isinstance(exc, WorkerTraceFailure) and exc.events:
+                # The failing worker's partial timeline still merges —
+                # a crashed --jobs N --trace run stays diagnosable.
+                trace.TRACER.adopt(exc.events)
             if use_shm:
-                _reap_exported_results(futures)
+                _reap_exported_results(futures, traced=collect_trace)
             descriptions = ", ".join(
                 j.describe() for j in job_list[start : start + length]
             )
@@ -361,7 +431,7 @@ def _run_parallel(
     return results_by_index
 
 
-def _reap_exported_results(futures: dict) -> None:
+def _reap_exported_results(futures: dict, traced: bool = False) -> None:
     """Failure-path hygiene under shm transport: chunks that completed
     before the failure surfaced may have exported result segments the
     parent never materialized — unlink them so the error leaves
@@ -371,7 +441,10 @@ def _reap_exported_results(futures: dict) -> None:
     for future in futures:
         if future.done() and not future.cancelled() and future.exception() is None:
             try:
-                for result in future.result():
+                chunk = future.result()
+                if traced:
+                    chunk = chunk[0]
+                for result in chunk:
                     materialize(result, unlink=True)
             except Exception:  # pragma: no cover - best-effort cleanup
                 pass

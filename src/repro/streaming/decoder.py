@@ -47,8 +47,12 @@ from repro.codec.decoder import (
     reconstruct_picture,
 )
 from repro.codec.encoder import MAX_REF_FRAMES
+from repro.obs import metrics, trace
 from repro.streaming.scanner import ScanState
 from repro.video.frame import Frame
+
+_MET_STALLS = metrics.counter("stream.stalls")
+_MET_BYTES_IN = metrics.counter("stream.bytes_in")
 
 
 def frame_bytes(frame: Frame) -> int:
@@ -109,6 +113,12 @@ class StreamDecoder:
         #: Positions of the I-frames decoded so far — the stream's
         #: random-access points, reported by ``SessionStats``.
         self.keyframes: list[int] = []
+        #: Backpressure wait count: feeds the producer had to pause on
+        #: (zero demand) plus blocking waits for an in-flight parse.
+        self.stalls = 0
+        #: Compressed bits per decoded frame, in decode order — the
+        #: per-frame history ``SessionStats.bits_out`` reports.
+        self.frame_bits: list[int] = []
         self._frame_index = 0
         self._closed = False
         #: Peak bytes held across the scanner accumulator, completed-but-
@@ -194,9 +204,16 @@ class StreamDecoder:
         except Exception:
             self._teardown_stage()
             raise
+        _MET_BYTES_IN.inc(len(chunk))
         self._advance()
         self._note_peak()
-        return self.demand
+        demand = self.demand
+        if demand == 0:
+            # The producer must pause until frames() drains — the wait
+            # SessionStats.stalls counts.
+            self.stalls += 1
+            _MET_STALLS.inc()
+        return demand
 
     def frames(self) -> Iterator[Frame]:
         """Drain every decoded frame ready so far, oldest first.
@@ -214,7 +231,10 @@ class StreamDecoder:
             if not self._ready and self._stage is not None:
                 in_flight = len(self._in_flight_sizes)
                 if in_flight and (self._closed or self.demand == 0):
-                    self._pump_pipeline(block=True)
+                    self.stalls += 1
+                    _MET_STALLS.inc()
+                    with trace.span("stream.stall", in_flight=in_flight):
+                        self._pump_pipeline(block=True)
             if not self._ready:
                 return
             yield self._ready.popleft()
@@ -258,6 +278,7 @@ class StreamDecoder:
             reader = BitReader(payload)
             parsed = parse_picture(reader)
             check_frame_length(reader, len(payload))
+            self.frame_bits.append(8 * len(payload))
             frame = self._note_frame(parsed)
             if self._on_frame is not None:
                 self._on_frame(frame)
@@ -286,12 +307,13 @@ class StreamDecoder:
             if item is None:
                 break
             tag, _seq, value = item
-            self._in_flight_sizes.popleft()
+            payload_size = self._in_flight_sizes.popleft()
             self._sync_stage_counters()
             if tag == "err":
                 self._stage_error = value
                 self._teardown_stage()
                 raise value
+            self.frame_bits.append(8 * payload_size)
             frame = self._note_frame(value)
             if self._on_frame is not None:
                 self._on_frame(frame)

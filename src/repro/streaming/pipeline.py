@@ -39,10 +39,16 @@ from typing import Any
 
 from repro.codec.bitstream import BitReader
 from repro.codec.decoder import ParsedPicture, check_frame_length, parse_picture
+from repro.obs import metrics, trace
 
 #: Result tags on the out-queue.
 _OK = "ok"
 _ERR = "err"
+
+_MET_QUEUE_DEPTH = metrics.gauge("pipeline.queue_depth")
+_MET_PAYLOADS = metrics.counter("pipeline.payloads")
+_MET_BYTES_COPIED = metrics.counter("pipeline.bytes_copied")
+_MET_HANDLES = metrics.counter("pipeline.handles_passed")
 
 
 def parse_payload(payload: bytes) -> ParsedPicture:
@@ -57,7 +63,11 @@ def parse_payload(payload: bytes) -> ParsedPicture:
 
 def _parse_loop(in_q, out_q) -> None:
     """Thread-mode worker: parse until the ``None`` sentinel or the
-    first failure (the error ships in-band, then the stage is dead)."""
+    first failure (the error ships in-band, then the stage is dead).
+
+    Out-queue items are ``(tag, seq, value, events)``; thread-mode
+    workers record straight into the process tracer (appends are
+    GIL-atomic), so their events slot is always ``None``."""
     while True:
         item = in_q.get()
         if item is None:
@@ -66,25 +76,31 @@ def _parse_loop(in_q, out_q) -> None:
         try:
             parsed = parse_payload(payload)
         except Exception as exc:
-            out_q.put((_ERR, seq, exc))
+            out_q.put((_ERR, seq, exc, None))
             break
-        out_q.put((_OK, seq, parsed))
+        out_q.put((_OK, seq, parsed, None))
 
 
-def _parse_process_main(in_q, out_q, backend=None) -> None:
+def _parse_process_main(in_q, out_q, backend=None, collect_trace=False) -> None:
     """Process-mode worker body (module-level for ``spawn``): like
     :func:`_parse_loop`, but parsed pictures leave as one-shot
     shared-memory exports the parent materializes and unlinks.
 
     ``backend`` is the parent's kernel-backend name (spawned children
     re-resolve ``REPRO_BACKEND`` from scratch, so an in-process
-    ``set_backend`` choice must travel explicitly)."""
+    ``set_backend`` choice must travel explicitly).  ``collect_trace``
+    turns on this child's tracer and ships each payload's drained
+    events (stamped with the child's pid) in the result tuple's fourth
+    slot, errors included — the parent adopts them in :meth:`ParseStage.poll`."""
     from repro.transport import export
 
     if backend is not None:
         from repro.kernels import set_backend
 
         set_backend(backend)
+    tracer = trace.TRACER
+    if collect_trace:
+        tracer.enable()
 
     while True:
         item = in_q.get()
@@ -94,9 +110,16 @@ def _parse_process_main(in_q, out_q, backend=None) -> None:
         try:
             parsed = parse_payload(payload)
         except Exception as exc:
-            out_q.put((_ERR, seq, exc))
+            out_q.put((_ERR, seq, exc, tracer.drain() if collect_trace else None))
             break
-        out_q.put((_OK, seq, export(parsed, name_prefix="repro-pipe")))
+        out_q.put(
+            (
+                _OK,
+                seq,
+                export(parsed, name_prefix="repro-pipe"),
+                tracer.drain() if collect_trace else None,
+            )
+        )
 
 
 def normalize_pipeline(pipeline) -> str | None:
@@ -163,7 +186,12 @@ class ParseStage:
             self._out = ctx.Queue(maxsize=depth)
             self._worker = ctx.Process(
                 target=_parse_process_main,
-                args=(self._in, self._out, _spawn_backend_name(None)),
+                args=(
+                    self._in,
+                    self._out,
+                    _spawn_backend_name(None),
+                    trace.TRACER.enabled,
+                ),
                 daemon=True,
             )
             with _exported_package_path():
@@ -187,8 +215,11 @@ class ParseStage:
             raise ValueError("submit() on a closed ParseStage")
         if self.kind == "process":
             self.bytes_copied += len(payload)
+            _MET_BYTES_COPIED.inc(len(payload))
         self._in.put((self._seq, payload))
         self._seq += 1
+        _MET_PAYLOADS.inc()
+        _MET_QUEUE_DEPTH.set(self.pending)
 
     def poll(self, block: bool = False, timeout: float = 0.1):
         """Collect the next result, or ``None`` when nothing is ready.
@@ -210,12 +241,17 @@ class ParseStage:
                     raise RuntimeError(
                         "parse stage worker died without delivering a result"
                     ) from None
-        tag, seq, value = item
+        tag, seq, value, events = item
         self._received += 1
+        _MET_QUEUE_DEPTH.set(self.pending)
+        if events:
+            trace.TRACER.adopt(events)
         if tag == _OK and self.kind == "process":
             from repro.transport import handle_count, materialize
 
-            self.handles_passed += handle_count(value)
+            handles = handle_count(value)
+            self.handles_passed += handles
+            _MET_HANDLES.inc(handles)
             value = materialize(value, unlink=True)
         return tag, seq, value
 
@@ -245,10 +281,12 @@ class ParseStage:
     def _discard_ready(self) -> None:
         while True:
             try:
-                tag, _seq, value = self._out.get_nowait()
+                tag, _seq, value, events = self._out.get_nowait()
             except queue_mod.Empty:
                 return
             self._received += 1
+            if events:
+                trace.TRACER.adopt(events)
             if tag == _OK and self.kind == "process":
                 from repro.transport import materialize
 

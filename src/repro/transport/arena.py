@@ -50,9 +50,19 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs import metrics
+
 #: Byte alignment of every placed array (cache-line sized, and enough
 #: for any NumPy dtype).
 ALIGNMENT = 64
+
+#: Live shared-memory bytes across every arena in this process: slab
+#: sizes are added when a segment is created and subtracted when it is
+#: destroyed, so the gauge (and its peak) bounds actual ``/dev/shm``
+#: residency rather than logical payload bytes.
+_MET_BYTES_IN_FLIGHT = metrics.gauge("arena.bytes_in_flight")
+_MET_PLACEMENTS = metrics.counter("arena.placements")
+_MET_SEGMENTS = metrics.counter("arena.segments")
 
 #: Default slab size for arena allocations.  One QCIF frame's three
 #: planes are ~38 KB, so the default slab holds a couple dozen frames.
@@ -298,6 +308,7 @@ class FrameArena:
             del view
         slab.used = offset + array.nbytes
         slab.refs += 1
+        _MET_PLACEMENTS.inc()
         return FrameHandle(
             segment=slab.shm.name,
             offset=offset,
@@ -318,6 +329,8 @@ class FrameArena:
         slab = _Slab(shm)
         self._slabs[shm.name] = slab
         self._active = slab
+        _MET_SEGMENTS.inc()
+        _MET_BYTES_IN_FLIGHT.add(shm.size)
         return slab
 
     def _seal(self, slab: _Slab) -> None:
@@ -350,8 +363,10 @@ class FrameArena:
         if self._active is slab:
             self._active = None
         detach_segment(slab.shm.name)  # a same-process consumer may hold a mapping
+        size = slab.shm.size
         slab.shm.close()
         slab.shm.unlink()
+        _MET_BYTES_IN_FLIGHT.add(-size)
 
     def close(self) -> None:
         """Unlink every segment, released or not.  Idempotent.  Handles

@@ -39,12 +39,18 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.transport.arena import FrameArena, FrameHandle
 from repro.transport.share import SharedSequence, share
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.config import ExperimentConfig
     from repro.video.frame import FrameGeometry
+
+#: Memo outcomes across both caches: a hit means a render (and its copy
+#: into shared memory) was avoided entirely.
+_MET_HITS = metrics.counter("framestore.hits")
+_MET_MISSES = metrics.counter("framestore.misses")
 
 
 class FrameStore:
@@ -84,8 +90,11 @@ class FrameStore:
         if shared is None:
             from repro.parallel.jobs import rendered_source
 
+            _MET_MISSES.inc()
             shared = share(rendered_source(name, config), self._arena.place)
             self._sources[key] = shared
+        else:
+            _MET_HITS.inc()
         return shared
 
     def rig_frames(
@@ -103,9 +112,12 @@ class FrameStore:
         if handles is None:
             from repro.experiments.fig4_characterization import rig_frames_cached
 
+            _MET_MISSES.inc()
             frames = rig_frames_cached(tuple(motions), geometry, p, seed)
             handles = tuple(self._arena.place(frame) for frame in frames)
             self._rigs[key] = handles
+        else:
+            _MET_HITS.inc()
         return handles
 
     # -- introspection -----------------------------------------------------

@@ -77,6 +77,15 @@ def test_gop(tmp_path):
     assert "tail bit-identical to full decode: True" in proc.stdout
 
 
+def test_observability(tmp_path):
+    proc = run_example("observability.py", "--frames", "3")
+    assert proc.returncode == 0, proc.stderr
+    assert "trace-event JSON valid: True" in proc.stdout
+    assert "distinct pids" in proc.stdout
+    assert "bits by syntax element" in proc.stdout
+    assert "frame spans" in proc.stdout
+
+
 def test_custom_sequence(tmp_path):
     proc = run_example(
         "custom_sequence.py", "--outdir", str(tmp_path), "--frames", "4", "--qp", "20"
